@@ -1,0 +1,267 @@
+// Command concilium-bench regenerates the paper's tables and figures as
+// text series.
+//
+// Usage:
+//
+//	concilium-bench [-fig N] [-scale small|default|treelike|paper] [-seed N] [-format text|csv]
+//
+// Figures: 1 (occupancy model), 2 (density errors), 3 (density errors
+// under suppression), 4 (forest coverage), 5 (blame PDFs + §4.3 rates),
+// 6 (accusation error vs m), 7 (§4.4 bandwidth), plus two extensions:
+// 8 (collusion-fraction sweep) and 9 (median-consensus suppression
+// defense). -fig 0 runs the paper's seven.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"concilium/internal/core"
+	"concilium/internal/experiments"
+	"concilium/internal/topology"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "concilium-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("concilium-bench", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate (0 = all)")
+	scale := fs.String("scale", "default", "topology scale: small, default, treelike, treelike-paper, or paper")
+	seed := fs.Uint64("seed", 42, "random seed")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var render renderer
+	switch *format {
+	case "text":
+		render = renderer{
+			series: experiments.WriteSeries,
+			table: func(w io.Writer, t experiments.Table) error {
+				return experiments.WriteTable(w, t)
+			},
+		}
+	case "csv":
+		render = renderer{
+			series: func(w io.Writer, _ string, series ...experiments.Series) error {
+				return experiments.WriteSeriesCSV(w, series...)
+			},
+			table: func(w io.Writer, t experiments.Table) error {
+				return experiments.WriteTableCSV(w, t)
+			},
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	topoCfg, overlayFrac, err := scaleConfig(*scale)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(*seed, *seed^0x9e3779b97f4a7c15))
+
+	figs := []int{*fig}
+	if *fig == 0 {
+		figs = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	for _, f := range figs {
+		start := time.Now()
+		if err := runFig(w, render, f, topoCfg, overlayFrac, rng); err != nil {
+			return fmt.Errorf("figure %d: %w", f, err)
+		}
+		if *format == "text" {
+			fmt.Fprintf(w, "(figure %d regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// renderer abstracts the output format.
+type renderer struct {
+	series func(io.Writer, string, ...experiments.Series) error
+	table  func(io.Writer, experiments.Table) error
+}
+
+func scaleConfig(scale string) (topology.Config, float64, error) {
+	switch scale {
+	case "small":
+		return topology.TestConfig(), 0.5, nil
+	case "default":
+		return topology.DefaultConfig(), 0.03, nil
+	case "treelike":
+		// Path-convergent variant matching the paper's Figure 4 coverage.
+		return topology.TreelikeConfig(), 0.03, nil
+	case "treelike-paper":
+		return topology.TreelikePaperConfig(), 0.03, nil
+	case "paper":
+		return topology.PaperConfig(), 0.03, nil
+	default:
+		return topology.Config{}, 0, fmt.Errorf("unknown scale %q", scale)
+	}
+}
+
+func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, overlayFrac float64, rng *rand.Rand) error {
+	sysCfg := core.DefaultSystemConfig()
+	sysCfg.Topology = topoCfg
+	sysCfg.OverlayFraction = overlayFrac
+	sysCfg.ArchiveRetention = 5 * time.Minute
+
+	switch fig {
+	case 1:
+		res, err := experiments.Fig1(experiments.DefaultFig1Config(), rng)
+		if err != nil {
+			return err
+		}
+		if err := render.series(w, "Figure 1: jump table occupancy (x = overlay N)",
+			res.Analytic, res.MonteCarlo); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "worst analytic-vs-simulated mean gap: %.2f slots\n", res.MaxMeanError())
+		return nil
+
+	case 2, 3:
+		suppression := fig == 3
+		res, err := experiments.Fig23(experiments.DefaultFig23Config(suppression))
+		if err != nil {
+			return err
+		}
+		title := "Figure 2: density test error rates (no suppression)"
+		if suppression {
+			title = "Figure 3: density test error rates (suppression attacks)"
+		}
+		series := append(append([]experiments.Series(nil), res.FalsePositives...), res.FalseNegatives...)
+		if err := render.series(w, title+" (x = gamma)", series...); err != nil {
+			return err
+		}
+		return render.table(w, res.SummaryTable(title+" — optimal gamma"))
+
+	case 4:
+		cfg := experiments.Fig4Config{System: sysCfg, SampleHosts: 40}
+		res, err := experiments.Fig4(cfg, rng)
+		if err != nil {
+			return err
+		}
+		if err := render.series(w, "Figure 4: trees sampled vs forest coverage (x = peer trees)",
+			res.Coverage, res.Vouching); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "own-tree coverage: %.1f%% (paper: ~25%%), hosts averaged: %d\n",
+			100*res.OwnTreeCoverage(), res.Hosts)
+		return nil
+
+	case 5:
+		for _, mal := range []float64{0, 0.2} {
+			cfg := experiments.DefaultFig5Config(mal)
+			cfg.System.Topology = topoCfg
+			cfg.System.OverlayFraction = overlayFrac
+			res, err := experiments.Fig5(cfg, rng)
+			if err != nil {
+				return err
+			}
+			label := "Figure 5a: blame PDFs, faithful reporting"
+			if mal > 0 {
+				label = "Figure 5b: blame PDFs, 20% colluding probe inversion"
+			}
+			if err := render.series(w, label+" (x = blame)",
+				experiments.PDFSeries("faulty nodes", res.FaultyPDF),
+				experiments.PDFSeries("non-faulty nodes", res.InnocentPDF)); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "threshold %.0f%%: innocent guilty %.1f%%, faulty guilty %.1f%% (paper: %s)\n",
+				100*res.Threshold, 100*res.PGood, 100*res.PFaulty, paperRates(mal))
+		}
+		return nil
+
+	case 6:
+		for _, rates := range []struct {
+			label          string
+			pGood, pFaulty float64
+		}{
+			{"Figure 6a: w=100, faithful reporting (p_good=1.8%, p_faulty=93.8%)", 0.018, 0.938},
+			{"Figure 6b: w=100, 20% collusion (p_good=8.4%, p_faulty=71.3%)", 0.084, 0.713},
+		} {
+			res, err := experiments.Fig6(experiments.DefaultFig6Config(rates.pGood, rates.pFaulty))
+			if err != nil {
+				return err
+			}
+			if err := render.series(w, rates.label+" (x = m)",
+				res.FalsePositive, res.FalseNegative); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "minimal m with both error rates <= 1%%: %d\n", res.MinimalM)
+		}
+		return nil
+
+	case 7:
+		table, _, err := experiments.Bandwidth(experiments.DefaultBandwidthConfig())
+		if err != nil {
+			return err
+		}
+		return render.table(w, table)
+
+	case 8:
+		cfg := experiments.DefaultCollusionSweepConfig()
+		cfg.Base.System.Topology = topoCfg
+		cfg.Base.System.OverlayFraction = overlayFrac
+		res, err := experiments.CollusionSweep(cfg, rng)
+		if err != nil {
+			return err
+		}
+		if err := render.series(w, "Extension: verdict quality vs colluding fraction (x = c)",
+			res.PGood, res.PFault); err != nil {
+			return err
+		}
+		return render.table(w, res.Table())
+
+	case 9:
+		model := core.DefaultOccupancyModel()
+		t := experiments.Table{
+			Title:   "Extension: median-consensus suppression defense (N=1131, optimal gamma per cell)",
+			Columns: []string{"collusion", "standard FP", "standard FN", "consensus FP", "consensus FN"},
+		}
+		for _, c := range []float64{0.1, 0.2, 0.3, 0.4} {
+			scen := core.DensityScenario{N: 1131, Collusion: c, Suppression: true}
+			std, err := core.OptimalGamma(model, scen, 1.0001, 3, 150)
+			if err != nil {
+				return err
+			}
+			best := core.DensityErrorRates{FalsePositive: 1, FalseNegative: 1}
+			for g := 1.01; g < 3; g += 0.01 {
+				r, err := core.ConsensusErrorRates(model, scen, g)
+				if err != nil {
+					return err
+				}
+				if r.Sum() < best.Sum() {
+					best = r
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f%%", 100*c),
+				fmt.Sprintf("%.4f", std.FalsePositive),
+				fmt.Sprintf("%.4f", std.FalseNegative),
+				fmt.Sprintf("%.4f", best.FalsePositive),
+				fmt.Sprintf("%.4f", best.FalseNegative),
+			})
+		}
+		return render.table(w, t)
+
+	default:
+		return fmt.Errorf("unknown figure %d (valid: 1-9)", fig)
+	}
+}
+
+func paperRates(malicious float64) string {
+	if malicious > 0 {
+		return "8.4% / 71.3%"
+	}
+	return "1.8% / 93.8%"
+}

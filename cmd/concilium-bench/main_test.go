@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "monte carlo") {
+		t.Errorf("fig1 output malformed:\n%s", out)
+	}
+}
+
+func TestRunFig2And3(t *testing.T) {
+	t.Parallel()
+	for _, fig := range []string{"2", "3"} {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-fig", fig}); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if !strings.Contains(buf.String(), "optimal gamma") {
+			t.Errorf("fig %s missing summary table", fig)
+		}
+	}
+}
+
+func TestRunFig4SmallScale(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "4", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "own-tree coverage") {
+		t.Error("fig4 missing coverage summary")
+	}
+}
+
+func TestRunFig6And7(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "minimal m") {
+		t.Error("fig6 missing minimal m")
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"-fig", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bandwidth") {
+		t.Error("fig7 missing bandwidth table")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run(&buf, []string{"-scale", "galactic", "-fig", "1"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run(&buf, []string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "7", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "overlay N,routing entries") {
+		t.Errorf("csv table header missing:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Error("csv output contains text-format decorations")
+	}
+	if err := run(&buf, []string{"-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunExtensionFig9(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "consensus") {
+		t.Error("fig 9 missing consensus table")
+	}
+}

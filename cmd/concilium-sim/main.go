@@ -1,0 +1,177 @@
+// Command concilium-sim runs an end-to-end diagnostic simulation: it
+// builds an IP topology and secure overlay, injects link failures and
+// misbehaving forwarders, routes stewarded messages, and reports how
+// Concilium attributed each drop — node vs network — against ground
+// truth, alongside what a RON-style baseline would have concluded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"concilium/internal/baseline"
+	"concilium/internal/core"
+	"concilium/internal/id"
+	"concilium/internal/topology"
+	"concilium/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "concilium-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("concilium-sim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 7, "random seed")
+	messages := fs.Int("messages", 200, "stewarded messages to route")
+	malicious := fs.Float64("malicious", 0.1, "fraction of overlay nodes that drop messages")
+	duration := fs.Duration("warmup", 5*time.Minute, "probing warmup before traffic")
+	scale := fs.String("scale", "small", "topology scale: small or default")
+	traceN := fs.Int("trace", 0, "print the last N protocol trace events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultSystemConfig()
+	switch *scale {
+	case "small":
+		cfg.Topology = topology.TestConfig()
+		cfg.OverlayFraction = 0.5
+	case "default":
+		cfg.Topology = topology.DefaultConfig()
+		cfg.OverlayFraction = 0.03
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	cfg.MaliciousFraction = *malicious
+	cfg.ArchiveRetention = 5 * time.Minute
+
+	var ring *trace.Ring
+	counter := trace.NewCounter()
+	if *traceN > 0 {
+		var err error
+		ring, err = trace.NewRing(*traceN)
+		if err != nil {
+			return err
+		}
+		cfg.Tracer = trace.Multi(ring, counter)
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, *seed+1))
+	fmt.Fprintf(w, "building system (scale=%s)...\n", *scale)
+	sys, err := core.BuildSystem(cfg, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "topology: %d routers, %d links; overlay: %d nodes (%d malicious)\n",
+		sys.Topo.NumRouters(), sys.Topo.NumLinks(), len(sys.Order),
+		int(*malicious*float64(len(sys.Order))))
+
+	if err := sys.StartFailures(); err != nil {
+		return err
+	}
+	if err := sys.StartProbing(); err != nil {
+		return err
+	}
+	sys.Run(*duration)
+	fmt.Fprintf(w, "warmed up: %d probe records, %d links down\n", sys.Archive.Size(), sys.Net.DownCount())
+
+	// RON baseline over the same membership: pairwise paths via each
+	// node's tomography tree where available.
+	paths := make(map[id.ID]map[id.ID][]topology.LinkID, len(sys.Order))
+	for _, nid := range sys.Order {
+		row := make(map[id.ID][]topology.LinkID)
+		for _, leaf := range sys.Nodes[nid].Tree.Leaves {
+			row[leaf.Node] = leaf.Path
+		}
+		paths[nid] = row
+	}
+	ron, err := baseline.New(sys.Net, sys.Order, paths)
+	if err != nil {
+		return err
+	}
+
+	var stats struct {
+		sent, delivered                  int
+		nodeDrops, linkDrops, ackDrops   int
+		culpritRight, culpritWrong       int
+		networkRight, networkWrong       int
+		ronSaysPath, ronSilent, verified int
+	}
+	for i := 0; i < *messages; i++ {
+		src := sys.Order[rng.IntN(len(sys.Order))]
+		dst := sys.Order[rng.IntN(len(sys.Order))]
+		if src == dst {
+			continue
+		}
+		rep, err := sys.SendMessage(src, dst)
+		if err != nil {
+			return err
+		}
+		stats.sent++
+		sys.Run(2 * time.Second) // pace traffic through the virtual clock
+		if rep.Delivered && rep.AckReceived {
+			stats.delivered++
+			continue
+		}
+		switch rep.Kind {
+		case core.DropByNode:
+			stats.nodeDrops++
+			if rep.Culprit == rep.DroppedBy {
+				stats.culpritRight++
+				if rep.Chain != nil && rep.Chain.Verify(sys.Keys(), cfg.Blame.GuiltyThreshold) == nil {
+					stats.verified++
+				}
+			} else {
+				stats.culpritWrong++
+			}
+			// RON's take on the same failure: the path is healthy, so it
+			// has nothing to report.
+			if len(rep.Route) > 1 && !ron.Diagnose(rep.Route[0], rep.Route[1]).PathBad {
+				stats.ronSilent++
+			}
+		case core.DropByLink, core.DropAckByLink:
+			if rep.Kind == core.DropByLink {
+				stats.linkDrops++
+			} else {
+				stats.ackDrops++
+			}
+			if rep.NetworkBlamed {
+				stats.networkRight++
+			} else {
+				stats.networkWrong++
+			}
+			if len(rep.Route) > 1 && ron.Diagnose(rep.Route[0], rep.Route[1]).PathBad {
+				stats.ronSaysPath++
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\nmessages sent:        %d\n", stats.sent)
+	fmt.Fprintf(w, "delivered+acked:      %d\n", stats.delivered)
+	fmt.Fprintf(w, "dropped by node:      %d (culprit correct: %d, wrong: %d, self-verifying chains: %d)\n",
+		stats.nodeDrops, stats.culpritRight, stats.culpritWrong, stats.verified)
+	fmt.Fprintf(w, "dropped by network:   %d msg + %d ack (network blamed: %d, node mis-blamed: %d)\n",
+		stats.linkDrops, stats.ackDrops, stats.networkRight, stats.networkWrong)
+	fmt.Fprintf(w, "RON baseline:         flags path for %d network drops; silent on %d node drops (it never blames nodes)\n",
+		stats.ronSaysPath, stats.ronSilent)
+
+	if ring != nil {
+		fmt.Fprintf(w, "\ntrace: %d events total (%d probes, %d verdicts, %d accusations, %d link changes)\n",
+			counter.Total(), counter.Count(trace.KindProbe), counter.Count(trace.KindVerdict),
+			counter.Count(trace.KindAccusation),
+			counter.Count(trace.KindLinkFailed)+counter.Count(trace.KindLinkRepaired))
+		fmt.Fprintf(w, "last %d events:\n", len(ring.Events()))
+		for _, e := range ring.Events() {
+			fmt.Fprintln(w, " ", e)
+		}
+	}
+	return nil
+}

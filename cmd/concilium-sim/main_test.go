@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSimulation(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-scale", "small", "-messages", "40", "-warmup", "3m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"messages sent:", "delivered+acked:", "dropped by node:",
+		"dropped by network:", "RON baseline:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoMaliciousNodes(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-scale", "small", "-messages", "20", "-malicious", "0", "-warmup", "2m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 malicious") {
+		t.Errorf("expected zero malicious nodes:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run(&buf, []string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-scale", "small", "-messages", "10", "-warmup", "2m", "-trace", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace:") || !strings.Contains(out, "last 8 events") {
+		t.Errorf("trace output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,106 @@
+// Command topogen generates and inspects the synthetic transit-stub
+// topologies that stand in for the paper's SCAN Internet map. It prints
+// summary statistics (router/link counts, degree distribution, end-host
+// population) so a configuration can be checked against the target
+// scale before running the heavier experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+
+	"concilium/internal/topology"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	scale := fs.String("scale", "default", "preset: small, default, or paper")
+	seed := fs.Uint64("seed", 1, "random seed")
+	hops := fs.Bool("hops", false, "also sample end-host path lengths")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg topology.Config
+	switch *scale {
+	case "small":
+		cfg = topology.TestConfig()
+	case "default":
+		cfg = topology.DefaultConfig()
+	case "paper":
+		cfg = topology.PaperConfig()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, *seed*2+1))
+	g, err := topology.Generate(cfg, rng)
+	if err != nil {
+		return err
+	}
+	hosts := g.EndHosts()
+	fmt.Fprintf(w, "routers:    %d\n", g.NumRouters())
+	fmt.Fprintf(w, "links:      %d\n", g.NumLinks())
+	fmt.Fprintf(w, "links/router: %.3f (SCAN map: 1.608)\n",
+		float64(g.NumLinks())/float64(g.NumRouters()))
+	fmt.Fprintf(w, "end hosts:  %d (degree-1 routers)\n", len(hosts))
+	fmt.Fprintf(w, "3%% overlay sample: %d nodes (paper: 1131)\n", int(0.03*float64(len(hosts))))
+
+	// Degree distribution.
+	hist := map[int]int{}
+	maxDeg := 0
+	for r := 0; r < g.NumRouters(); r++ {
+		d := g.Degree(topology.RouterID(r))
+		hist[d]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Fprintln(w, "degree histogram (degree: routers):")
+	for d := 1; d <= maxDeg && d <= 12; d++ {
+		if hist[d] > 0 {
+			fmt.Fprintf(w, "  %2d: %d\n", d, hist[d])
+		}
+	}
+	var tail int
+	for d := 13; d <= maxDeg; d++ {
+		tail += hist[d]
+	}
+	if tail > 0 {
+		fmt.Fprintf(w, "  13+: %d\n", tail)
+	}
+
+	if *hops && len(hosts) >= 2 {
+		tree, err := g.BFS(hosts[0])
+		if err != nil {
+			return err
+		}
+		var sum, n, max int
+		for i := 1; i < len(hosts) && n < 2000; i += 7 {
+			h := tree.HopCount(hosts[i])
+			if h < 0 {
+				continue
+			}
+			sum += h
+			n++
+			if h > max {
+				max = h
+			}
+		}
+		if n > 0 {
+			fmt.Fprintf(w, "host-to-host hops (sampled %d): mean %.1f, max %d\n",
+				n, float64(sum)/float64(n), max)
+		}
+	}
+	return nil
+}

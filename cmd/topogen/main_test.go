@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallScale(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scale", "small", "-hops"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"routers:", "links:", "end hosts:", "degree histogram", "host-to-host hops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-nonsense"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	t.Parallel()
+	var a, b bytes.Buffer
+	if err := run(&a, []string{"-scale", "small", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, []string{"-scale", "small", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different topology summaries")
+	}
+}

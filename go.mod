@@ -1,0 +1,3 @@
+module concilium
+
+go 1.22

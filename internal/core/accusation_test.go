@@ -1,0 +1,414 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+// testIdentity is a keyed overlay member for protocol tests.
+type testIdentity struct {
+	id   id.ID
+	keys sigcrypto.KeyPair
+}
+
+func newIdentities(n int, r *rand.Rand) ([]testIdentity, KeyDirectory) {
+	ids := make([]testIdentity, n)
+	dir := make(map[id.ID]ed25519.PublicKey, n)
+	for i := range ids {
+		ids[i] = testIdentity{id: id.Random(r), keys: sigcrypto.KeyPairFromRand(r)}
+		dir[ids[i].id] = ids[i].keys.Public
+	}
+	return ids, func(x id.ID) (ed25519.PublicKey, bool) {
+		k, ok := dir[x]
+		return k, ok
+	}
+}
+
+func TestCommitmentSignAndVerify(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(61, 67))
+	ids, _ := newIdentities(3, r)
+	c := NewCommitment(ids[1].keys, ids[0].id, ids[1].id, ids[2].id, 42, 1000)
+	if err := c.Verify(ids[1].keys.Public); err != nil {
+		t.Fatalf("valid commitment rejected: %v", err)
+	}
+	// Wrong key.
+	if err := c.Verify(ids[0].keys.Public); err == nil {
+		t.Error("commitment verified under wrong key")
+	}
+	// Tampered fields.
+	for i, mutate := range []func(*Commitment){
+		func(c *Commitment) { c.MsgID = 43 },
+		func(c *Commitment) { c.Dest = ids[0].id },
+		func(c *Commitment) { c.At = 2000 },
+		func(c *Commitment) { c.From = ids[2].id },
+	} {
+		bad := c
+		mutate(&bad)
+		if err := bad.Verify(ids[1].keys.Public); err == nil {
+			t.Errorf("tampered commitment %d accepted", i)
+		}
+	}
+}
+
+// buildGuiltyResult constructs a blame result with no exculpatory
+// evidence: full blame on the judged node.
+func buildGuiltyResult(t *testing.T, judged id.ID, at netsim.Time) BlameResult {
+	t.Helper()
+	eng, err := NewBlameEngine(tomography.NewArchive(), DefaultBlameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Blame(judged, []topology.LinkID{1, 2}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Guilty {
+		t.Fatal("expected guilty result")
+	}
+	return res
+}
+
+func TestAccusationLifecycle(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(71, 73))
+	ids, keys := newIdentities(3, r)
+	accuser, accused, dest := ids[0], ids[1], ids[2]
+
+	res := buildGuiltyResult(t, accused.id, 5000)
+	commit := NewCommitment(accused.keys, accuser.id, accused.id, dest.id, 42, 4900)
+	acc, err := NewAccusation(accuser.keys, accuser.id, res, 42, []topology.LinkID{1, 2}, commit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Verify(keys, 0.4); err != nil {
+		t.Fatalf("valid accusation rejected: %v", err)
+	}
+
+	// Forged blame value.
+	forged := acc
+	forged.Blame = 0.99
+	forged.Signature = accuser.keys.Sign([]byte("resign")) // wrong anyway
+	if err := forged.Verify(keys, 0.4); err == nil {
+		t.Error("tampered accusation accepted")
+	}
+
+	// Evidence that does not support the blame: re-sign with mismatched
+	// blame and check the recomputation catches it.
+	mismatched := acc
+	mismatched.Blame = 0.5
+	mismatched.Signature = accuser.keys.Sign(mismatched.payload())
+	if err := mismatched.Verify(keys, 0.4); !errors.Is(err, ErrBlameMismatch) {
+		t.Errorf("blame mismatch not caught: %v", err)
+	}
+
+	// Below-threshold accusations are rejected by verifiers with higher
+	// thresholds.
+	if err := acc.Verify(keys, 1.0+1e-9); err == nil {
+		t.Error("threshold not enforced")
+	}
+}
+
+func TestAccusationRequiresCommitment(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(81, 83))
+	ids, keys := newIdentities(4, r)
+	accuser, accused, other, dest := ids[0], ids[1], ids[2], ids[3]
+	res := buildGuiltyResult(t, accused.id, 5000)
+
+	// Commitment from the wrong node: rejected at construction.
+	wrongVia := NewCommitment(other.keys, accuser.id, other.id, dest.id, 42, 4900)
+	if _, err := NewAccusation(accuser.keys, accuser.id, res, 42, nil, wrongVia); !errors.Is(err, ErrCommitmentMismatch) {
+		t.Errorf("wrong-via commitment: %v", err)
+	}
+	// Commitment for a different message: rejected at construction.
+	wrongMsg := NewCommitment(accused.keys, accuser.id, accused.id, dest.id, 7, 4900)
+	if _, err := NewAccusation(accuser.keys, accuser.id, res, 42, nil, wrongMsg); !errors.Is(err, ErrCommitmentMismatch) {
+		t.Errorf("wrong-message commitment: %v", err)
+	}
+	// A commitment forged by the accuser itself (spurious accusation,
+	// §3.6): signature check under the accused's key fails.
+	forged := NewCommitment(accuser.keys, accuser.id, accused.id, dest.id, 42, 4900)
+	acc, err := NewAccusation(accuser.keys, accuser.id, res, 42, nil, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Verify(keys, 0.4); !errors.Is(err, ErrBadCommitmentSignature) {
+		t.Errorf("forged commitment: %v", err)
+	}
+	// Non-guilty results cannot become accusations.
+	innocent := res
+	innocent.Guilty = false
+	good := NewCommitment(accused.keys, accuser.id, accused.id, dest.id, 42, 4900)
+	if _, err := NewAccusation(accuser.keys, accuser.id, innocent, 42, nil, good); err == nil {
+		t.Error("non-guilty accusation built")
+	}
+}
+
+// buildChain constructs the paper's A→B→C→D scenario: D dropped the
+// message, so A blames B, B blames C, C blames D, and revision walks the
+// blame down to D.
+func buildChain(t *testing.T, ids []testIdentity) []Accusation {
+	t.Helper()
+	const msgID = 99
+	dest := ids[len(ids)-1].id
+	var links []Accusation
+	for i := 0; i+1 < len(ids); i++ {
+		accuser, accused := ids[i], ids[i+1]
+		res := buildGuiltyResult(t, accused.id, 5000)
+		commit := NewCommitment(accused.keys, accuser.id, accused.id, dest, msgID, 4900)
+		acc, err := NewAccusation(accuser.keys, accuser.id, res, msgID, []topology.LinkID{1, 2}, commit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links = append(links, acc)
+	}
+	return links
+}
+
+func TestRevisionChain(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(91, 93))
+	ids, keys := newIdentities(4, r) // A, B, C, D
+	links := buildChain(t, ids)
+
+	chain, err := NewRevisionChain(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Verify(keys, 0.4); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	if got := chain.Culprit(); got != ids[3].id {
+		t.Errorf("culprit = %s, want D", got.Short())
+	}
+	ex := chain.Exonerated()
+	if len(ex) != 2 || ex[0] != ids[1].id || ex[1] != ids[2].id {
+		t.Errorf("exonerated = %v, want [B C]", ex)
+	}
+}
+
+func TestRevisionChainExtend(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(101, 103))
+	ids, keys := newIdentities(4, r)
+	links := buildChain(t, ids)
+
+	// Start with only A's accusation against B; B rebuts by extending
+	// with its own verdict against C, then C's against D (§3.5).
+	chain, err := NewRevisionChain(links[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Culprit() != ids[1].id {
+		t.Fatal("initial culprit should be B")
+	}
+	chain, err = chain.Extend(links[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err = chain.Extend(links[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Culprit() != ids[3].id {
+		t.Errorf("culprit after revision = %s, want D", chain.Culprit().Short())
+	}
+	if err := chain.Verify(keys, 0.4); err != nil {
+		t.Fatalf("extended chain invalid: %v", err)
+	}
+	// Extending with an unrelated accusation breaks the chain.
+	unrelated := links[0]
+	if _, err := chain.Extend(unrelated); !errors.Is(err, ErrBrokenChain) {
+		t.Errorf("disconnected extension: %v", err)
+	}
+}
+
+func TestRevisionChainValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(111, 113))
+	ids, _ := newIdentities(4, r)
+	links := buildChain(t, ids)
+
+	if _, err := NewRevisionChain(nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	// Out-of-order links do not connect.
+	if _, err := NewRevisionChain([]Accusation{links[1], links[0]}); !errors.Is(err, ErrBrokenChain) {
+		t.Errorf("reversed chain: %v", err)
+	}
+	// Different message IDs break the chain even if identities connect.
+	altered := links[1]
+	altered.MsgID = 12345
+	if _, err := NewRevisionChain([]Accusation{links[0], altered}); !errors.Is(err, ErrBrokenChain) {
+		t.Errorf("cross-message chain: %v", err)
+	}
+}
+
+func TestRevisionChainVerifyCatchesBadLink(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(121, 123))
+	ids, keys := newIdentities(4, r)
+	links := buildChain(t, ids)
+	// Corrupt the middle link's signature.
+	links[1].Signature[0] ^= 0xff
+	chain, err := NewRevisionChain(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Verify(keys, 0.4); err == nil {
+		t.Error("chain with corrupt link verified")
+	}
+}
+
+func TestSnapshotSignAndValidate(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(131, 137))
+	ids, keys := newIdentities(4, r)
+	prober := ids[0]
+	now := netsim.Time(0).Add(10 * time.Minute)
+
+	entries := []AdvertEntry{
+		{Peer: ids[1].id, Freshness: sigcrypto.NewTimestamp(ids[1].keys, ids[1].id, int64(now.Add(-30*time.Second)))},
+		{Peer: ids[2].id, Freshness: sigcrypto.NewTimestamp(ids[2].keys, ids[2].id, int64(now.Add(-45*time.Second)))},
+	}
+	snap := &Snapshot{
+		Prober: prober.id,
+		At:     now,
+		Observations: []tomography.LinkObservation{
+			{Link: 1, Up: true}, {Link: 2, Up: false},
+		},
+		Entries:     entries,
+		LeafSpacing: 1e30,
+	}
+	snap.Sign(prober.keys)
+
+	v := &SnapshotValidator{
+		Keys:             keys,
+		MaxEntryAge:      2 * time.Minute,
+		JumpTest:         DensityTest{Gamma: 1.2},
+		LocalOccupancy:   2,
+		LeafGamma:        2,
+		LocalLeafSpacing: 1e30,
+	}
+	if err := v.Validate(snap); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	// Archive ingestion.
+	arch := tomography.NewArchive()
+	if err := v.Ingest(arch, snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := arch.InWindow(2, 0, now.Add(time.Hour), nil); len(got) != 1 || got[0].Up {
+		t.Errorf("ingested observation wrong: %+v", got)
+	}
+}
+
+func TestSnapshotValidatorRejections(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(141, 143))
+	ids, keys := newIdentities(4, r)
+	prober := ids[0]
+	now := netsim.Time(0).Add(10 * time.Minute)
+
+	freshEntry := func(who testIdentity, at netsim.Time) AdvertEntry {
+		return AdvertEntry{Peer: who.id, Freshness: sigcrypto.NewTimestamp(who.keys, who.id, int64(at))}
+	}
+	base := func() *Snapshot {
+		s := &Snapshot{
+			Prober:      prober.id,
+			At:          now,
+			Entries:     []AdvertEntry{freshEntry(ids[1], now.Add(-time.Minute)), freshEntry(ids[2], now.Add(-time.Minute))},
+			LeafSpacing: 1e30,
+		}
+		s.Sign(prober.keys)
+		return s
+	}
+	v := &SnapshotValidator{
+		Keys:             keys,
+		MaxEntryAge:      2 * time.Minute,
+		JumpTest:         DensityTest{Gamma: 1.2},
+		LocalOccupancy:   2,
+		LeafGamma:        2,
+		LocalLeafSpacing: 1e30,
+	}
+
+	// Unsigned / tampered snapshot.
+	s := base()
+	s.LeafSpacing = 5
+	if err := v.Validate(s); !errors.Is(err, ErrBadSnapshotSignature) {
+		t.Errorf("tampered snapshot: %v", err)
+	}
+
+	// Stale entry (inflation attack with an old timestamp, §3.1).
+	s = base()
+	s.Entries[0] = freshEntry(ids[1], now.Add(-time.Hour))
+	s.Sign(prober.keys)
+	if err := v.Validate(s); !errors.Is(err, ErrStaleEntry) {
+		t.Errorf("stale entry: %v", err)
+	}
+
+	// Future-dated entry.
+	s = base()
+	s.Entries[0] = freshEntry(ids[1], now.Add(time.Minute))
+	s.Sign(prober.keys)
+	if err := v.Validate(s); !errors.Is(err, ErrFutureEntry) {
+		t.Errorf("future entry: %v", err)
+	}
+
+	// Stolen timestamp: ids[1]'s timestamp attached to ids[2]'s entry.
+	s = base()
+	ts := sigcrypto.NewTimestamp(ids[1].keys, ids[1].id, int64(now.Add(-time.Minute)))
+	s.Entries[1] = AdvertEntry{Peer: ids[2].id, Freshness: ts}
+	s.Sign(prober.keys)
+	if err := v.Validate(s); !errors.Is(err, ErrBadEntrySignature) {
+		t.Errorf("stolen timestamp: %v", err)
+	}
+
+	// Density failure: advertising 2 entries while local has 10.
+	sparse := &SnapshotValidator{
+		Keys: keys, MaxEntryAge: 2 * time.Minute,
+		JumpTest: DensityTest{Gamma: 1.2}, LocalOccupancy: 10,
+	}
+	s = base()
+	if err := sparse.Validate(s); !errors.Is(err, ErrTableTooSparse) {
+		t.Errorf("sparse table: %v", err)
+	}
+
+	// Leaf-set density failure: advertised spacing far wider than local.
+	leafy := &SnapshotValidator{
+		Keys: keys, MaxEntryAge: 2 * time.Minute,
+		JumpTest: DensityTest{Gamma: 1.2}, LocalOccupancy: 2,
+		LeafGamma: 1.5, LocalLeafSpacing: 1e29,
+	}
+	s = base() // LeafSpacing 1e30 > 1.5 * 1e29
+	if err := leafy.Validate(s); !errors.Is(err, ErrLeafSetTooSparse) {
+		t.Errorf("sparse leaf set: %v", err)
+	}
+
+	// Unknown signer.
+	s = base()
+	s.Prober = id.Random(r)
+	s.Sign(prober.keys)
+	if err := v.Validate(s); !errors.Is(err, ErrUnknownSigner) {
+		t.Errorf("unknown signer: %v", err)
+	}
+	// Invalid ingest never archives.
+	arch := tomography.NewArchive()
+	if err := v.Ingest(arch, s); err == nil {
+		t.Error("invalid snapshot ingested")
+	}
+	if arch.Size() != 0 {
+		t.Error("archive polluted by invalid snapshot")
+	}
+}

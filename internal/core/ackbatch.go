@@ -1,0 +1,129 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/sigcrypto"
+)
+
+// §3.7: when two peers exchange many packets, a single acknowledgment
+// can cover multiple messages. The paper sketches two encodings — plain
+// counters ("how many arrived") and per-packet hashes ("exactly which
+// arrived"). Both are implemented here as signed batch acknowledgments a
+// steward can hold in place of per-message acks.
+
+// ErrBadBatchAckSignature indicates a batch ack that fails verification.
+var ErrBadBatchAckSignature = errors.New("core: batch acknowledgment signature invalid")
+
+// BatchAck is a signed acknowledgment from a recipient covering a span
+// of messages from one sender.
+type BatchAck struct {
+	From id.ID // original message source
+	By   id.ID // acknowledging recipient
+	At   netsim.Time
+	// Received counts messages that arrived in the covered span.
+	Received uint32
+	// Expected is the span size the sender claimed (from its sequence
+	// numbers); Received < Expected signals loss inside the span.
+	Expected uint32
+	// Digests optionally identifies the exact messages received, as
+	// truncated hashes of their IDs. Empty means counter-only encoding.
+	Digests   []uint64
+	Signature []byte
+}
+
+// MessageDigest derives the truncated hash identifying message msgID
+// from sender from.
+func MessageDigest(from id.ID, msgID uint64) uint64 {
+	var buf [id.Bytes + 8]byte
+	copy(buf[:], from[:])
+	binary.BigEndian.PutUint64(buf[id.Bytes:], msgID)
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func (a *BatchAck) payload() []byte {
+	buf := make([]byte, 0, 8+2*id.Bytes+16+8*len(a.Digests))
+	buf = append(buf, "batchack"...)
+	buf = append(buf, a.From[:]...)
+	buf = append(buf, a.By[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.At))
+	buf = binary.BigEndian.AppendUint32(buf, a.Received)
+	buf = binary.BigEndian.AppendUint32(buf, a.Expected)
+	for _, d := range a.Digests {
+		buf = binary.BigEndian.AppendUint64(buf, d)
+	}
+	return buf
+}
+
+// NewCounterAck builds a counter-encoded batch acknowledgment.
+func NewCounterAck(kp sigcrypto.KeyPair, from, by id.ID, at netsim.Time, received, expected uint32) (BatchAck, error) {
+	if received > expected {
+		return BatchAck{}, fmt.Errorf("core: batch ack received %d exceeds expected %d", received, expected)
+	}
+	a := BatchAck{From: from, By: by, At: at, Received: received, Expected: expected}
+	a.Signature = kp.Sign(a.payload())
+	return a, nil
+}
+
+// NewDigestAck builds a hash-encoded batch acknowledgment identifying
+// the exact messages received. Digests are sorted for canonical form.
+func NewDigestAck(kp sigcrypto.KeyPair, from, by id.ID, at netsim.Time, expected uint32, msgIDs []uint64) (BatchAck, error) {
+	if uint32(len(msgIDs)) > expected {
+		return BatchAck{}, fmt.Errorf("core: batch ack covers %d messages but expected only %d", len(msgIDs), expected)
+	}
+	digests := make([]uint64, len(msgIDs))
+	for i, m := range msgIDs {
+		digests[i] = MessageDigest(from, m)
+	}
+	sort.Slice(digests, func(i, j int) bool { return digests[i] < digests[j] })
+	a := BatchAck{
+		From: from, By: by, At: at,
+		Received: uint32(len(msgIDs)), Expected: expected,
+		Digests: digests,
+	}
+	a.Signature = kp.Sign(a.payload())
+	return a, nil
+}
+
+// Verify checks the acknowledgment under the recipient's key.
+func (a *BatchAck) Verify(byPub ed25519.PublicKey) error {
+	if !sigcrypto.Verify(byPub, a.payload(), a.Signature) {
+		return ErrBadBatchAckSignature
+	}
+	if a.Received > a.Expected {
+		return fmt.Errorf("core: batch ack received %d exceeds expected %d", a.Received, a.Expected)
+	}
+	if len(a.Digests) > 0 && uint32(len(a.Digests)) != a.Received {
+		return fmt.Errorf("core: batch ack digest count %d disagrees with received %d",
+			len(a.Digests), a.Received)
+	}
+	return nil
+}
+
+// LossRate returns the fraction of the span that went missing.
+func (a *BatchAck) LossRate() float64 {
+	if a.Expected == 0 {
+		return 0
+	}
+	return float64(a.Expected-a.Received) / float64(a.Expected)
+}
+
+// Covers reports whether a digest-encoded ack confirms receipt of the
+// given message. Counter-only acks cannot answer per-message questions
+// and always report false — the precision/size trade-off §3.7 describes.
+func (a *BatchAck) Covers(from id.ID, msgID uint64) bool {
+	if len(a.Digests) == 0 {
+		return false
+	}
+	want := MessageDigest(from, msgID)
+	i := sort.Search(len(a.Digests), func(i int) bool { return a.Digests[i] >= want })
+	return i < len(a.Digests) && a.Digests[i] == want
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"concilium/internal/id"
+	"concilium/internal/sigcrypto"
+)
+
+func TestCounterAckRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(401, 403))
+	kp := sigcrypto.KeyPairFromRand(r)
+	from, by := id.Random(r), id.Random(r)
+	ack, err := NewCounterAck(kp, from, by, 100, 48, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ack.Verify(kp.Public); err != nil {
+		t.Fatalf("valid ack rejected: %v", err)
+	}
+	if got := ack.LossRate(); got != 0.04 {
+		t.Errorf("LossRate = %v, want 0.04", got)
+	}
+	// Counter acks cannot answer per-message questions.
+	if ack.Covers(from, 7) {
+		t.Error("counter ack claimed per-message coverage")
+	}
+	// Tampering invalidates.
+	forged := ack
+	forged.Received = 50
+	if err := forged.Verify(kp.Public); err == nil {
+		t.Error("inflated counter accepted")
+	}
+	// Received > Expected rejected at build and verify.
+	if _, err := NewCounterAck(kp, from, by, 100, 51, 50); err == nil {
+		t.Error("overfull ack built")
+	}
+}
+
+func TestDigestAckCoverage(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(405, 407))
+	kp := sigcrypto.KeyPairFromRand(r)
+	from, by := id.Random(r), id.Random(r)
+	received := []uint64{3, 9, 27}
+	ack, err := NewDigestAck(kp, from, by, 100, 5, received)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ack.Verify(kp.Public); err != nil {
+		t.Fatalf("valid ack rejected: %v", err)
+	}
+	for _, m := range received {
+		if !ack.Covers(from, m) {
+			t.Errorf("message %d not covered", m)
+		}
+	}
+	// Uncovered messages and wrong senders report false.
+	if ack.Covers(from, 4) {
+		t.Error("missing message covered")
+	}
+	if ack.Covers(by, 3) {
+		t.Error("wrong sender covered")
+	}
+	if got := ack.LossRate(); got != 0.4 {
+		t.Errorf("LossRate = %v, want 0.4 (3 of 5)", got)
+	}
+	// Too many messages for the claimed span.
+	if _, err := NewDigestAck(kp, from, by, 100, 2, received); err == nil {
+		t.Error("overfull digest ack built")
+	}
+	// Digest/counter mismatch caught at verify.
+	broken := ack
+	broken.Received = 2
+	if err := broken.Verify(kp.Public); err == nil {
+		t.Error("mismatched digest count accepted")
+	}
+}
+
+func TestDigestAckCanonicalOrder(t *testing.T) {
+	t.Parallel()
+	// The same message set in any order signs identically.
+	r := rand.New(rand.NewPCG(409, 411))
+	kp := sigcrypto.KeyPairFromRand(r)
+	from, by := id.Random(r), id.Random(r)
+	a, err := NewDigestAck(kp, from, by, 50, 10, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDigestAck(kp, from, by, 50, 10, []uint64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Signature) != string(b.Signature) {
+		t.Error("message order changed the signature")
+	}
+}
+
+func TestMessageDigestDistinct(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(413, 417))
+	from := id.Random(r)
+	other := id.Random(r)
+	if MessageDigest(from, 1) == MessageDigest(from, 2) {
+		t.Error("different messages collide")
+	}
+	if MessageDigest(from, 1) == MessageDigest(other, 1) {
+		t.Error("different senders collide")
+	}
+}
+
+func TestBatchAckZeroSpan(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(419, 421))
+	kp := sigcrypto.KeyPairFromRand(r)
+	ack, err := NewCounterAck(kp, id.Random(r), id.Random(r), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ack.LossRate(); got != 0 {
+		t.Errorf("zero-span loss rate = %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"concilium/internal/fuzzy"
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+// BlameConfig parameterizes the fault-attribution equation of §3.4.
+type BlameConfig struct {
+	// ProbeAccuracy is a, the probability a probe correctly diagnoses a
+	// link's status. The paper's evaluation uses 0.9.
+	ProbeAccuracy float64
+	// Delta is Δ: probe results from [t−Δ, t+Δ] are admissible evidence
+	// for a message sent at t. The paper's evaluation uses 60 s.
+	Delta time.Duration
+	// GuiltyThreshold converts continuous blame into a binary verdict;
+	// the paper's example threshold is 0.4 (§4.3).
+	GuiltyThreshold float64
+}
+
+// DefaultBlameConfig returns the paper's evaluation parameters.
+func DefaultBlameConfig() BlameConfig {
+	return BlameConfig{ProbeAccuracy: 0.9, Delta: time.Minute, GuiltyThreshold: 0.4}
+}
+
+// Validate reports the first invalid field.
+func (c BlameConfig) Validate() error {
+	switch {
+	case c.ProbeAccuracy < 0.5 || c.ProbeAccuracy > 1 || math.IsNaN(c.ProbeAccuracy):
+		return fmt.Errorf("core: probe accuracy %v out of [0.5, 1]", c.ProbeAccuracy)
+	case c.Delta <= 0:
+		return fmt.Errorf("core: Δ %v must be positive", c.Delta)
+	case c.GuiltyThreshold <= 0 || c.GuiltyThreshold >= 1:
+		return fmt.Errorf("core: guilty threshold %v out of (0,1)", c.GuiltyThreshold)
+	}
+	return nil
+}
+
+// LinkConfidence is one link's aggregated evidence: the fuzzy confidence
+// that the link was bad during the evidence window.
+type LinkConfidence struct {
+	Link       topology.LinkID
+	Probes     int
+	Confidence float64
+}
+
+// BlameResult is the outcome of one fault attribution.
+type BlameResult struct {
+	// Judged is the forwarder being evaluated (B in the paper's running
+	// example); the path is B→C, the IP route to its next hop.
+	Judged id.ID
+	At     netsim.Time
+	// Blame is Pr(B faulty) per Eq. 2: 1 − max-link confidence that the
+	// path was bad.
+	Blame float64
+	// Guilty applies the configured threshold.
+	Guilty bool
+	// WorstLink is the link that bounded the network's culpability (the
+	// argmax of Eq. 3), if any probes covered the path.
+	WorstLink LinkConfidence
+	// Evidence holds the per-link confidences used, for archiving into
+	// accusations.
+	Evidence []LinkConfidence
+}
+
+// RecordFilter lets callers transform or drop archived records at
+// judgment time. The accusation experiments use it to model colluders
+// who adapt their published results to whoever is being judged (§4.3);
+// returning false discards the record.
+type RecordFilter func(judged id.ID, rec tomography.ProbeRecord) (tomography.ProbeRecord, bool)
+
+// BlameOption configures a BlameEngine.
+type BlameOption func(*BlameEngine)
+
+// WithRecordFilter installs a judgment-time record transform.
+func WithRecordFilter(f RecordFilter) BlameOption {
+	return func(e *BlameEngine) { e.filter = f }
+}
+
+// WithSelfExclusion controls whether the judged node's own probes are
+// ignored (the paper's rule, default true). Disabling it exists only for
+// the ablation benchmarks that measure what the rule buys.
+func WithSelfExclusion(enabled bool) BlameOption {
+	return func(e *BlameEngine) { e.selfExclusion = enabled }
+}
+
+// BlameEngine evaluates Eq. 2/3 against an archive of disseminated probe
+// results.
+type BlameEngine struct {
+	archive       *tomography.Archive
+	cfg           BlameConfig
+	filter        RecordFilter
+	selfExclusion bool
+}
+
+// NewBlameEngine creates an engine reading from archive.
+func NewBlameEngine(archive *tomography.Archive, cfg BlameConfig, opts ...BlameOption) (*BlameEngine, error) {
+	if archive == nil {
+		return nil, fmt.Errorf("core: blame engine requires an archive")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &BlameEngine{archive: archive, cfg: cfg, selfExclusion: true}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Config returns the engine's parameters.
+func (e *BlameEngine) Config() BlameConfig { return e.cfg }
+
+// linkConfidence evaluates the inner expression of Eq. 3 for one link:
+// each admissible probe contributes a when it saw the link down and
+// (1−a) when it saw it up, averaged over the probes. No probes means no
+// evidence the link was bad (confidence 0).
+func (e *BlameEngine) linkConfidence(judged id.ID, link topology.LinkID, at netsim.Time, exclude map[id.ID]bool) LinkConfidence {
+	from := at.Add(-e.cfg.Delta)
+	to := at.Add(e.cfg.Delta)
+	recs := e.archive.InWindow(link, from, to, exclude)
+	lc := LinkConfidence{Link: link}
+	a := e.cfg.ProbeAccuracy
+	var sum float64
+	for _, r := range recs {
+		if e.filter != nil {
+			var keep bool
+			if r, keep = e.filter(judged, r); !keep {
+				continue
+			}
+		}
+		lc.Probes++
+		if r.Up {
+			sum += 1 - a
+		} else {
+			sum += a
+		}
+	}
+	if lc.Probes == 0 {
+		return lc
+	}
+	lc.Confidence = fuzzy.Clamp(sum / float64(lc.Probes))
+	return lc
+}
+
+// Blame evaluates Eq. 2 for the forwarder judged, whose next-hop IP path
+// is path, for a message sent at time at. The judged node's own probe
+// results are excluded, so it cannot talk its way out of blame (§3.4).
+func (e *BlameEngine) Blame(judged id.ID, path []topology.LinkID, at netsim.Time) (BlameResult, error) {
+	if len(path) == 0 {
+		return BlameResult{}, fmt.Errorf("core: blame over empty path")
+	}
+	var exclude map[id.ID]bool
+	if e.selfExclusion {
+		exclude = map[id.ID]bool{judged: true}
+	}
+	res := BlameResult{Judged: judged, At: at, Evidence: make([]LinkConfidence, 0, len(path))}
+	confidences := make([]float64, 0, len(path))
+	for _, l := range path {
+		lc := e.linkConfidence(judged, l, at, exclude)
+		res.Evidence = append(res.Evidence, lc)
+		confidences = append(confidences, lc.Confidence)
+		if lc.Confidence > res.WorstLink.Confidence || res.WorstLink.Probes == 0 && lc.Probes > 0 {
+			res.WorstLink = lc
+		}
+	}
+	// Eq. 2: Pr(B faulty) = 1 − Pr(path bad) = 1 − fuzzy-OR over links.
+	res.Blame = fuzzy.Not(fuzzy.Or(confidences...))
+	res.Guilty = res.Blame >= e.cfg.GuiltyThreshold
+	return res, nil
+}
+
+// RecomputeBlame re-derives the blame value from archived evidence — the
+// verification third parties run before honoring an accusation (§3.4).
+// It returns the blame implied by the evidence list alone.
+func RecomputeBlame(evidence []LinkConfidence) float64 {
+	confidences := make([]float64, len(evidence))
+	for i, lc := range evidence {
+		confidences[i] = lc.Confidence
+	}
+	return fuzzy.Not(fuzzy.Or(confidences...))
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+// Overlay churn at the system level. The paper's evaluation holds
+// membership fixed ("we did not model fluctuating machine availability
+// since we wanted to focus on the fundamental properties of our fault
+// inference algorithm", §4.2); the protocol nevertheless has to survive
+// churn, so the System supports it: departures repair every survivor's
+// routing state through the incremental maintenance ops (proven
+// equivalent to from-scratch fills) and rebuild the affected tomography
+// trees, and joins admit CA-certified newcomers.
+
+// FailNode removes a node from the overlay — a crash or permanent
+// departure. Every surviving node's leaf set and jump tables are
+// repaired and its tomography tree rebuilt if the departed node was one
+// of its routing peers.
+func (s *System) FailNode(failed id.ID) error {
+	if _, ok := s.Nodes[failed]; !ok {
+		return fmt.Errorf("core: unknown node %s", failed.Short())
+	}
+	if len(s.Order) <= 4 {
+		return fmt.Errorf("core: refusing to shrink overlay below 4 nodes")
+	}
+	newRing, err := s.Ring.Without(map[id.ID]bool{failed: true})
+	if err != nil {
+		return err
+	}
+	s.Ring = newRing
+	delete(s.Nodes, failed)
+	kept := s.Order[:0]
+	for _, nid := range s.Order {
+		if nid != failed {
+			kept = append(kept, nid)
+		}
+	}
+	s.Order = kept
+
+	for _, nid := range s.Order {
+		node := s.Nodes[nid]
+		hadPeer := false
+		for _, p := range node.Routing.RoutingPeers() {
+			if p == failed {
+				hadPeer = true
+				break
+			}
+		}
+		if err := node.Routing.ApplyDeparture(failed, s.Ring, s.rng); err != nil {
+			return fmt.Errorf("core: repair %s: %w", nid.Short(), err)
+		}
+		if hadPeer {
+			if err := s.rebuildTree(node); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JoinNode admits a new CA-certified node at the given attachment
+// router: it receives full routing state, a tomography tree, and every
+// existing node folds it in incrementally.
+func (s *System) JoinNode(router topology.RouterID) (id.ID, error) {
+	keys := sigcrypto.KeyPairFromRand(s.rng)
+	cert, err := s.CA.Issue(fmt.Sprintf("host-%d", router), keys.Public)
+	if err != nil {
+		return id.ID{}, err
+	}
+	newRing, err := s.Ring.WithMember(cert.NodeID)
+	if err != nil {
+		return id.ID{}, err
+	}
+	s.Ring = newRing
+
+	node := &Node{Cert: cert, Keys: keys, Router: router}
+	node.Routing, err = overlay.BuildRoutingState(cert.NodeID, s.Ring, s.rng)
+	if err != nil {
+		return id.ID{}, err
+	}
+	s.Nodes[cert.NodeID] = node
+	s.Order = append(s.Order, cert.NodeID)
+	if err := s.rebuildTree(node); err != nil {
+		return id.ID{}, err
+	}
+
+	// Existing nodes fold the newcomer in; trees only change for nodes
+	// that actually gained it as a routing peer.
+	for _, nid := range s.Order[:len(s.Order)-1] {
+		peer := s.Nodes[nid]
+		if err := peer.Routing.ApplyJoin(cert.NodeID); err != nil {
+			return id.ID{}, fmt.Errorf("core: fold join into %s: %w", nid.Short(), err)
+		}
+		for _, p := range peer.Routing.RoutingPeers() {
+			if p == cert.NodeID {
+				if err := s.rebuildTree(peer); err != nil {
+					return id.ID{}, err
+				}
+				break
+			}
+		}
+	}
+	if s.probing {
+		if err := s.scheduleProbe(node); err != nil {
+			return id.ID{}, err
+		}
+	}
+	return cert.NodeID, nil
+}
+
+// rebuildTree refreshes a node's tomography tree from its current
+// routing peers.
+func (s *System) rebuildTree(node *Node) error {
+	peers := node.Routing.RoutingPeers()
+	leaves := make([]tomography.Leaf, 0, len(peers))
+	for _, p := range peers {
+		pn, ok := s.Nodes[p]
+		if !ok {
+			continue // peer departed concurrently
+		}
+		leaves = append(leaves, tomography.Leaf{Node: p, Router: pn.Router})
+	}
+	tree, err := tomography.BuildTree(s.Topo, node.ID(), node.Router, leaves)
+	if err != nil {
+		return fmt.Errorf("core: rebuild tree for %s: %w", node.ID().Short(), err)
+	}
+	node.Tree = tree
+	return nil
+}

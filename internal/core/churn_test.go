@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/topology"
+)
+
+func TestFailNodeRepairsSurvivors(t *testing.T) {
+	t.Parallel()
+	s := buildTestSystem(t, nil)
+	victim := s.Order[len(s.Order)/2]
+	before := len(s.Order)
+
+	if err := s.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Order) != before-1 || s.Ring.Contains(victim) {
+		t.Fatal("victim not removed")
+	}
+	// Every survivor's state is repaired: no reference to the departed
+	// node anywhere, secure tables still satisfy the constraint, and
+	// trees cover the current peer sets.
+	for _, nid := range s.Order {
+		node := s.Nodes[nid]
+		for _, p := range node.Routing.RoutingPeers() {
+			if p == victim {
+				t.Fatalf("node %s still peers with departed %s", nid.Short(), victim.Short())
+			}
+		}
+		if err := node.Routing.Secure.Validate(); err != nil {
+			t.Fatalf("node %s secure table corrupt: %v", nid.Short(), err)
+		}
+		if len(node.Tree.Leaves) != len(node.Routing.RoutingPeers()) {
+			t.Fatalf("node %s tree out of sync with peers", nid.Short())
+		}
+		// The repaired secure table matches a from-scratch fill.
+		rebuilt, err := overlay.BuildSecureTable(nid, s.Ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < 32; row++ {
+			for col := byte(0); col < 16; col++ {
+				got, gok := node.Routing.Secure.Slot(row, col)
+				want, wok := rebuilt.Slot(row, col)
+				if gok != wok || (gok && got != want) {
+					t.Fatalf("node %s slot (%d,%d) diverged from rebuild", nid.Short(), row, col)
+				}
+			}
+		}
+	}
+	// Routing still works end to end.
+	rep, err := s.SendMessage(s.Order[0], s.Order[len(s.Order)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered {
+		t.Error("delivery failed after churn repair")
+	}
+	if err := s.FailNode(victim); err == nil {
+		t.Error("double failure accepted")
+	}
+	if err := s.FailNode(id.Zero); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestJoinNodeIntegrates(t *testing.T) {
+	t.Parallel()
+	s := buildTestSystem(t, nil)
+	if err := s.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	// Attach the newcomer at a free end-host router.
+	used := map[int32]bool{}
+	for _, nid := range s.Order {
+		used[int32(s.Nodes[nid].Router)] = true
+	}
+	var router int32 = -1
+	for _, h := range s.Topo.EndHosts() {
+		if !used[int32(h)] {
+			router = int32(h)
+			break
+		}
+	}
+	if router < 0 {
+		t.Skip("no free end host")
+	}
+	before := len(s.Order)
+	newID, err := s.JoinNode(topology.RouterID(router))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Order) != before+1 || !s.Ring.Contains(newID) {
+		t.Fatal("join not registered")
+	}
+	node := s.Nodes[newID]
+	if node.Tree == nil || len(node.Tree.Leaves) == 0 {
+		t.Fatal("newcomer has no tree")
+	}
+	if err := node.Routing.Secure.Validate(); err != nil {
+		t.Fatalf("newcomer secure table invalid: %v", err)
+	}
+	// Survivors folded the newcomer in exactly as a rebuild would.
+	for _, nid := range s.Order {
+		rebuilt, err := overlay.BuildSecureTable(nid, s.Ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Nodes[nid].Routing.Secure
+		for row := 0; row < 32; row++ {
+			for col := byte(0); col < 16; col++ {
+				g, gok := got.Slot(row, col)
+				w, wok := rebuilt.Slot(row, col)
+				if gok != wok || (gok && g != w) {
+					t.Fatalf("node %s slot (%d,%d) diverged after join", nid.Short(), row, col)
+				}
+			}
+		}
+	}
+	// Traffic reaches the newcomer, and its probes land in the archive.
+	rep, err := s.SendMessage(s.Order[0], newID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered {
+		t.Error("cannot deliver to newcomer")
+	}
+	s.Run(5 * time.Minute)
+	recs := 0
+	for _, l := range node.Tree.Links() {
+		recs += len(s.Archive.InWindow(l, 0, s.Sim.Now(), map[id.ID]bool{}))
+		if recs > 0 {
+			break
+		}
+	}
+	if recs == 0 {
+		t.Error("newcomer never probed")
+	}
+}
+
+func TestSendBulkCleanAndLossy(t *testing.T) {
+	t.Parallel()
+	s := buildTestSystem(t, nil)
+	if err := s.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3 * time.Minute)
+	src, dst, route := findMultiHopPair(t, s, 2)
+
+	// Clean batch: everything delivered and cleared; no verdicts.
+	rep, err := s.SendBulk(src, dst, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != 20 || rep.Cleared != 20 || len(rep.Missing) != 0 {
+		t.Fatalf("clean bulk: %+v", rep)
+	}
+	if rep.AckDigests != 20 {
+		t.Errorf("ack digests = %d", rep.AckDigests)
+	}
+
+	// Dropper on the first hop: everything missing, verdicts issued.
+	dropper := route[1]
+	s.Nodes[dropper].Behavior = Behavior{DropsMessages: true}
+	rep, err = s.SendBulk(src, dst, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != 0 || len(rep.Missing) != 10 {
+		t.Fatalf("dropper bulk: %+v", rep)
+	}
+	if len(rep.Verdicts) != 10 {
+		t.Fatalf("verdicts = %d, want 10", len(rep.Verdicts))
+	}
+	for _, v := range rep.Verdicts {
+		if v.Judged != dropper || !v.Guilty {
+			t.Fatalf("verdict %+v, want guilty against dropper", v)
+		}
+	}
+	// Window accumulated them.
+	if got := s.Window.GuiltyCount(dropper); got != 10 {
+		t.Errorf("window guilty count = %d", got)
+	}
+	if _, err := s.SendBulk(src, dst, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := s.SendBulk(id.Zero, dst, 1); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suppression defense (the future-work direction §4.1 closes with).
+//
+// The density test compares a peer's advertised occupancy against the
+// verifier's own table, so colluders who suppress their identifiers
+// from the verifier shrink its reference point and sneak sparse
+// fraudulent tables past (Figure 3). The defense implemented here
+// removes the single point of reference: the verifier estimates the
+// overlay population from the *median* of many peers' leaf-spacing
+// population estimates and tests advertised tables against the expected
+// occupancy at that consensus population. A median over k estimates is
+// unmoved until more than half the contributing peers collude, so
+// suppression must corrupt a majority of the verifier's sample rather
+// than just its local view.
+//
+// The defense restores the false-negative rate; it cannot restore false
+// positives, because a suppressed honest peer's table is *genuinely*
+// sparse — no reference point fixes evidence the attacker physically
+// removed. The analysis functions expose both sides honestly.
+
+// ConsensusN returns the median of independent population estimates,
+// rejecting empty or non-positive inputs.
+func ConsensusN(estimates []float64) (float64, error) {
+	if len(estimates) == 0 {
+		return 0, fmt.Errorf("core: consensus over no estimates")
+	}
+	xs := make([]float64, 0, len(estimates))
+	for _, e := range estimates {
+		if e <= 0 {
+			return 0, fmt.Errorf("core: population estimate %v not positive", e)
+		}
+		xs = append(xs, e)
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid], nil
+	}
+	return (xs[mid-1] + xs[mid]) / 2, nil
+}
+
+// ConsensusDensityTest checks an advertised occupancy against the
+// expected occupancy of an overlay of consensusN nodes: the advert is
+// accepted when γ·d_peer ≥ μφ(consensusN).
+type ConsensusDensityTest struct {
+	Model OccupancyModel
+	Gamma float64
+}
+
+// NewConsensusDensityTest validates the parameters.
+func NewConsensusDensityTest(m OccupancyModel, gamma float64) (ConsensusDensityTest, error) {
+	if err := m.Validate(); err != nil {
+		return ConsensusDensityTest{}, err
+	}
+	if gamma <= 1 {
+		return ConsensusDensityTest{}, fmt.Errorf("core: consensus-test γ %v must exceed 1", gamma)
+	}
+	return ConsensusDensityTest{Model: m, Gamma: gamma}, nil
+}
+
+// Check reports whether the advertised occupancy passes against the
+// consensus population.
+func (t ConsensusDensityTest) Check(peerOccupancy, consensusN float64) (bool, error) {
+	if consensusN <= 1 {
+		return false, fmt.Errorf("core: consensus population %v too small", consensusN)
+	}
+	mu, err := t.Model.ExpectedOccupancy(int(consensusN + 0.5))
+	if err != nil {
+		return false, err
+	}
+	return t.Gamma*peerOccupancy >= mu, nil
+}
+
+// ConsensusErrorRates computes the defense's error rates under a
+// suppression attack with colluding fraction c, mirroring the Figure 3
+// analysis:
+//
+//   - false negative: the attacker's table (drawn from Nc colluders)
+//     passes against μφ(N) — the consensus reference the median
+//     preserves as long as c < 1/2;
+//   - false positive: an honest-but-suppressed peer's table (drawn from
+//     N(1−c)) fails against the same reference.
+func ConsensusErrorRates(m OccupancyModel, s DensityScenario, gamma float64) (DensityErrorRates, error) {
+	if err := s.Validate(); err != nil {
+		return DensityErrorRates{}, err
+	}
+	if gamma <= 0 {
+		return DensityErrorRates{}, fmt.Errorf("core: γ %v must be positive", gamma)
+	}
+	// Median of population estimates stays at N while c < 1/2.
+	reference := s.N
+	if s.Collusion >= 0.5 {
+		reference = atLeast2(int(float64(s.N) * s.Collusion))
+	}
+	mu, err := m.ExpectedOccupancy(reference)
+	if err != nil {
+		return DensityErrorRates{}, err
+	}
+	cut := mu / gamma
+
+	peerN := s.N
+	if s.Suppression {
+		peerN = atLeast2(int(float64(s.N) * (1 - s.Collusion)))
+	}
+	peer, err := m.NormalApprox(peerN)
+	if err != nil {
+		return DensityErrorRates{}, err
+	}
+	attacker, err := m.NormalApprox(atLeast2(int(float64(s.N) * s.Collusion)))
+	if err != nil {
+		return DensityErrorRates{}, err
+	}
+	return DensityErrorRates{
+		Gamma:         gamma,
+		FalsePositive: clampProb(peer.CDF(cut)),          // honest table below cut
+		FalseNegative: clampProb(attacker.Survival(cut)), // fraudulent table above cut
+	}, nil
+}

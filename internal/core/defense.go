@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"concilium/internal/id"
+)
+
+// §3.5's rebuttal flow: a host archives the fault attributions it
+// issues. If another host later confronts it with a formal accusation —
+// perhaps because an upstream peer maliciously refused to amend its
+// verdict — the accused rebuts by producing its own verifiable
+// downstream verdict for the same message, extending the chain so blame
+// moves past it. Hosts that cannot rebut keep the blame, which is the
+// point: only the true fault point lacks exculpatory evidence.
+
+// ErrNoDefense indicates the host holds no downstream verdict for the
+// accused message — it cannot push the blame further.
+var ErrNoDefense = errors.New("core: no archived downstream verdict for this message")
+
+// DefenseArchive stores the accusations a host itself issued, keyed by
+// message, for later rebuttals. It is safe for concurrent use.
+type DefenseArchive struct {
+	owner id.ID
+
+	mu  sync.Mutex
+	own map[uint64]Accusation
+}
+
+// NewDefenseArchive creates the archive for owner.
+func NewDefenseArchive(owner id.ID) *DefenseArchive {
+	return &DefenseArchive{owner: owner, own: make(map[uint64]Accusation)}
+}
+
+// Owner returns the archiving host.
+func (d *DefenseArchive) Owner() id.ID { return d.owner }
+
+// Record archives a verdict the owner issued. Accusations issued by
+// other hosts are rejected — archiving someone else's verdict as one's
+// own would produce unverifiable rebuttals.
+func (d *DefenseArchive) Record(acc Accusation) error {
+	if acc.Accuser != d.owner {
+		return fmt.Errorf("core: accusation by %s archived by %s",
+			acc.Accuser.Short(), d.owner.Short())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.own[acc.MsgID] = acc
+	return nil
+}
+
+// Len returns the number of archived verdicts.
+func (d *DefenseArchive) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.own)
+}
+
+// Defend rebuts an accusation naming the owner: it extends the
+// presented chain with the owner's own archived downstream verdict for
+// the same message. The caller (the host weighing punitive steps,
+// §3.5) then re-verifies the extended chain and recalculates
+// trustworthiness in light of the new evidence.
+func (d *DefenseArchive) Defend(presented *RevisionChain) (*RevisionChain, error) {
+	if presented == nil || len(presented.Links) == 0 {
+		return nil, fmt.Errorf("core: empty accusation presented")
+	}
+	if presented.Culprit() != d.owner {
+		return nil, fmt.Errorf("core: accusation names %s, not %s",
+			presented.Culprit().Short(), d.owner.Short())
+	}
+	msgID := presented.Links[len(presented.Links)-1].MsgID
+	d.mu.Lock()
+	downstream, ok := d.own[msgID]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w (message %d)", ErrNoDefense, msgID)
+	}
+	return presented.Extend(downstream)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDefenseArchiveRebuttal(t *testing.T) {
+	t.Parallel()
+	// The §3.5 scenario: A holds an accusation naming B, but B had
+	// issued its own verdict against C for the same message. B rebuts;
+	// the extended chain names C and still verifies.
+	r := rand.New(rand.NewPCG(801, 803))
+	ids, keys := newIdentities(4, r) // A, B, C, D(est)
+	links := buildChain(t, ids)      // A->B, B->C, C->D with shared msgID
+
+	presented, err := NewRevisionChain(links[:1]) // A blames B
+	if err != nil {
+		t.Fatal(err)
+	}
+	defense := NewDefenseArchive(ids[1].id) // B's archive
+	if err := defense.Record(links[1]); err != nil {
+		t.Fatal(err)
+	}
+	if defense.Len() != 1 {
+		t.Errorf("Len = %d", defense.Len())
+	}
+
+	amended, err := defense.Defend(presented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amended.Culprit() != ids[2].id {
+		t.Errorf("culprit after rebuttal = %s, want C", amended.Culprit().Short())
+	}
+	if err := amended.Verify(keys, 0.4); err != nil {
+		t.Errorf("rebutted chain unverifiable: %v", err)
+	}
+	// Chained rebuttals: C defends with its verdict against D.
+	cArchive := NewDefenseArchive(ids[2].id)
+	if err := cArchive.Record(links[2]); err != nil {
+		t.Fatal(err)
+	}
+	final, err := cArchive.Defend(amended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Culprit() != ids[3].id {
+		t.Errorf("final culprit = %s, want D", final.Culprit().Short())
+	}
+}
+
+func TestDefenseArchiveCannotRebutWithoutEvidence(t *testing.T) {
+	t.Parallel()
+	// The true dropper has no downstream verdict: its peers' probes saw
+	// every link up, so it cannot fabricate one (§3.5). Defend must
+	// fail loudly.
+	r := rand.New(rand.NewPCG(805, 807))
+	ids, _ := newIdentities(4, r)
+	links := buildChain(t, ids)
+	presented, err := NewRevisionChain(links) // full chain names D
+	if err != nil {
+		t.Fatal(err)
+	}
+	dArchive := NewDefenseArchive(ids[3].id)
+	if _, err := dArchive.Defend(presented); !errors.Is(err, ErrNoDefense) {
+		t.Errorf("culprit without evidence: %v", err)
+	}
+}
+
+func TestDefenseArchiveValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(809, 811))
+	ids, _ := newIdentities(4, r)
+	links := buildChain(t, ids)
+
+	// Cannot archive someone else's verdict.
+	bArchive := NewDefenseArchive(ids[1].id)
+	if err := bArchive.Record(links[0]); err == nil {
+		t.Error("foreign accusation archived")
+	}
+	if bArchive.Owner() != ids[1].id {
+		t.Error("owner wrong")
+	}
+
+	// Cannot defend an accusation naming someone else.
+	if err := bArchive.Record(links[1]); err != nil {
+		t.Fatal(err)
+	}
+	chainNamingC, err := NewRevisionChain(links[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bArchive.Defend(chainNamingC); err == nil {
+		t.Error("defended an accusation naming another host")
+	}
+	if _, err := bArchive.Defend(nil); err == nil {
+		t.Error("nil chain defended")
+	}
+}

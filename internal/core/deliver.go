@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/topology"
+	"concilium/internal/trace"
+)
+
+// DropKind classifies where a message (or its acknowledgment) died.
+type DropKind int
+
+// Drop causes.
+const (
+	// DropNone: the message was delivered and acknowledged.
+	DropNone DropKind = iota + 1
+	// DropByNode: a forwarder discarded the message.
+	DropByNode
+	// DropByLink: a failed IP link ate the message.
+	DropByLink
+	// DropAckByLink: the message arrived but the acknowledgment was lost.
+	DropAckByLink
+)
+
+// DeliveryReport is the full outcome of one stewarded message: the
+// overlay route, the ground-truth drop cause, every steward's verdict,
+// and the final attribution after recursive revision.
+type DeliveryReport struct {
+	MsgID uint64
+	Route []id.ID
+
+	Delivered   bool
+	AckReceived bool
+	Kind        DropKind
+	DroppedBy   id.ID           // when Kind == DropByNode
+	BrokenLink  topology.LinkID // when Kind == DropByLink or DropAckByLink
+
+	// Verdicts holds each steward's judgment of its next hop, in route
+	// order (stewards that never saw the message issue none).
+	Verdicts []Verdict
+	// Chain is the amended accusation assembled by recursive revision,
+	// when the final attribution is a node.
+	Chain *RevisionChain
+	// Culprit is the node ultimately blamed; zero when the network (or
+	// nothing) is blamed.
+	Culprit id.ID
+	// NetworkBlamed reports that revision attributed the drop to IP
+	// failure rather than any forwarder.
+	NetworkBlamed bool
+}
+
+// routingStates exposes the per-node overlay state for route tracing.
+func (s *System) routingStates() map[id.ID]*overlay.RoutingState {
+	states := make(map[id.ID]*overlay.RoutingState, len(s.Nodes))
+	for nid, n := range s.Nodes {
+		states[nid] = n.Routing
+	}
+	return states
+}
+
+// SendMessage routes one stewarded message from src to dst over the
+// secure overlay and runs the full diagnostic protocol (§3.4–§3.5):
+// forwarding commitments at every hop, recursive stewardship, per-hop
+// blame when the acknowledgment fails to arrive, and recursive revision
+// that pushes blame to the true fault point.
+//
+// Each steward judges its next hop over the IP links that the message
+// needed after leaving the steward: the steward's own path to the next
+// hop plus the next hop's onward path. A probed-down link anywhere in
+// that span exonerates the next hop.
+func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
+	srcNode, ok := s.Nodes[src]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %s", src.Short())
+	}
+	if _, ok := s.Nodes[dst]; !ok {
+		return nil, fmt.Errorf("core: unknown destination %s", dst.Short())
+	}
+	route, err := overlay.RouteSecure(s.routingStates(), src, dst, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DeliveryReport{MsgID: srcNode.NextMsgID(), Route: route, Kind: DropNone}
+	s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindMessageSent, Node: src, Peer: dst})
+	if len(route) == 1 {
+		rep.Delivered, rep.AckReceived = true, true
+		return rep, nil
+	}
+	sendTime := s.Sim.Now()
+
+	// Hop-by-hop IP paths along the route.
+	paths := make([][]topology.LinkID, len(route)-1)
+	for i := 0; i+1 < len(route); i++ {
+		p, err := s.Nodes[route[i]].PathToPeer(route[i+1])
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+	}
+
+	// Forward pass: find where the message dies. Each leg advances the
+	// virtual clock by its propagation delay, so link state is whatever
+	// the failure process says when the packet actually crosses.
+	// reached is the index of the last node that received the message.
+	reached := 0
+	for i := 0; i+1 < len(route); i++ {
+		s.Run(s.Net.Latency(paths[i]))
+		if bad, down := s.Net.FirstDownLink(paths[i]); down {
+			rep.Kind = DropByLink
+			rep.BrokenLink = bad
+			break
+		}
+		next := s.Nodes[route[i+1]]
+		reached = i + 1
+		if next.Behavior.DropsMessages && route[i+1] != dst {
+			rep.Kind = DropByNode
+			rep.DroppedBy = route[i+1]
+			break
+		}
+	}
+	rep.Delivered = reached == len(route)-1 && rep.Kind == DropNone
+
+	// Acknowledgment pass over the reverse path, again in real virtual
+	// time: a link can fail between the message leg and the ack leg,
+	// which is exactly the "acknowledgment dropped along the reverse
+	// path" case of §3.5.
+	if rep.Delivered {
+		rep.AckReceived = true
+		for i := len(paths) - 1; i >= 0; i-- {
+			s.Run(s.Net.Latency(paths[i]))
+			if bad, down := s.Net.FirstDownLink(paths[i]); down {
+				rep.Kind = DropAckByLink
+				rep.BrokenLink = bad
+				rep.AckReceived = false
+				break
+			}
+		}
+		if rep.AckReceived {
+			return rep, nil
+		}
+	}
+	s.emit(trace.Event{
+		At: s.Sim.Now(), Kind: trace.KindMessageDropped,
+		Node: src, Peer: dst, Link: rep.BrokenLink, Detail: dropDetail(rep.Kind),
+	})
+	// Evidence windows center on the send time t (probes from [t−Δ, t+Δ]
+	// are admissible, §3.4); the round-trip is milliseconds against a
+	// Δ of a minute.
+	now := sendTime
+
+	// Diagnosis: every steward (node that held the message) judges its
+	// next hop. Steward i's evidence span covers its own transmission
+	// path plus the next hop's onward path.
+	lastSteward := reached
+	if rep.Kind == DropByNode {
+		// The dropper holds the message but will not steward honestly;
+		// its upstream peers still judge it.
+		lastSteward = reached - 1
+	}
+	for i := 0; i <= lastSteward && i+1 < len(route); i++ {
+		span := append([]topology.LinkID(nil), paths[i]...)
+		if i+1 < len(paths) {
+			span = append(span, paths[i+1]...)
+		}
+		res, err := s.Engine.Blame(route[i+1], span, now)
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdicts = append(rep.Verdicts, Verdict{
+			Judged: route[i+1], At: now, Blame: res.Blame, Guilty: res.Guilty,
+		})
+		s.Window.Add(rep.Verdicts[len(rep.Verdicts)-1])
+		s.emit(trace.Event{
+			At: now, Kind: trace.KindVerdict,
+			Node: route[i], Peer: route[i+1], Guilty: res.Guilty,
+		})
+	}
+	if len(rep.Verdicts) == 0 {
+		rep.NetworkBlamed = true
+		return rep, nil
+	}
+
+	// Recursive revision (§3.5): the deepest steward's verdict stands —
+	// every upstream accusation is amended by the downstream evidence.
+	deepest := rep.Verdicts[len(rep.Verdicts)-1]
+	if !deepest.Guilty {
+		rep.NetworkBlamed = true
+		return rep, nil
+	}
+	rep.Culprit = deepest.Judged
+
+	// Assemble the self-verifying amended accusation from the connected
+	// run of guilty verdicts ending at the culprit.
+	start := len(rep.Verdicts) - 1
+	for start > 0 && rep.Verdicts[start-1].Guilty {
+		start--
+	}
+	var links []Accusation
+	for vi := start; vi < len(rep.Verdicts); vi++ {
+		accuser := route[vi]
+		judged := rep.Verdicts[vi].Judged
+		span := append([]topology.LinkID(nil), paths[vi]...)
+		if vi+1 < len(paths) {
+			span = append(span, paths[vi+1]...)
+		}
+		res, err := s.Engine.Blame(judged, span, now)
+		if err != nil {
+			return nil, err
+		}
+		commit := NewCommitment(s.Nodes[judged].Keys, accuser, judged, dst, rep.MsgID, now)
+		acc, err := NewAccusation(s.Nodes[accuser].Keys, accuser, res, rep.MsgID, span, commit)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, acc)
+	}
+	chain, err := NewRevisionChain(links)
+	if err != nil {
+		return nil, err
+	}
+	rep.Chain = chain
+	s.emit(trace.Event{At: now, Kind: trace.KindAccusation, Node: src, Peer: rep.Culprit})
+	return rep, nil
+}
+
+// dropDetail names a drop kind for trace output.
+func dropDetail(k DropKind) string {
+	switch k {
+	case DropByNode:
+		return "by-node"
+	case DropByLink:
+		return "by-link"
+	case DropAckByLink:
+		return "ack-by-link"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"concilium/internal/stats"
+)
+
+func testRand() *rand.Rand { return rand.New(rand.NewPCG(51, 53)) }
+
+func TestOccupancyModelFillProb(t *testing.T) {
+	t.Parallel()
+	m := DefaultOccupancyModel()
+	// Eq. 1 by hand for row 0, N=2: 1 - (1 - 1/16)^1 = 1/16.
+	if got := m.FillProb(0, 2); math.Abs(got-1.0/16) > 1e-12 {
+		t.Errorf("FillProb(0,2) = %v, want 1/16", got)
+	}
+	// Monotone in N and decreasing in row.
+	if m.FillProb(0, 100) <= m.FillProb(0, 10) {
+		t.Error("fill probability not monotone in N")
+	}
+	if m.FillProb(2, 1000) <= m.FillProb(5, 1000) {
+		t.Error("fill probability should decrease with depth")
+	}
+	// Degenerate inputs.
+	if m.FillProb(0, 1) != 0 || m.FillProb(-1, 100) != 0 || m.FillProb(99, 100) != 0 {
+		t.Error("degenerate FillProb should be 0")
+	}
+}
+
+func TestOccupancyModelPaperAnchors(t *testing.T) {
+	t.Parallel()
+	m := DefaultOccupancyModel()
+	// §4.4: "in a 100,000 node overlay, the average node has 77 entries
+	// in its local routing state" = μφ + 16 leaves.
+	mu, err := m.ExpectedOccupancy(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := mu + 16; math.Abs(total-77) > 2.5 {
+		t.Errorf("μφ+16 = %v, paper says 77", total)
+	}
+	// The 1,131-node evaluation overlay: about 36 occupied slots.
+	mu, err = m.ExpectedOccupancy(1131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu < 30 || mu > 42 {
+		t.Errorf("μφ(1131) = %v, want ~36", mu)
+	}
+}
+
+func TestOccupancyNormalApproxMatchesMonteCarlo(t *testing.T) {
+	t.Parallel()
+	// Figure 1's claim: the analytic φ(μφ, σφ) tracks simulated
+	// occupancy. Compare mean and spread at a mid-size overlay.
+	m := DefaultOccupancyModel()
+	const n = 2000
+	approx, err := m.NormalApprox(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcMean, mcStd, err := m.MonteCarloOccupancy(n, 300, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Mu-mcMean) > 1.0 {
+		t.Errorf("analytic mean %v vs Monte Carlo %v", approx.Mu, mcMean)
+	}
+	if math.Abs(approx.Sigma-mcStd) > 0.8 {
+		t.Errorf("analytic std %v vs Monte Carlo %v", approx.Sigma, mcStd)
+	}
+}
+
+func TestMonteCarloOccupancyValidation(t *testing.T) {
+	t.Parallel()
+	m := DefaultOccupancyModel()
+	if _, _, err := m.MonteCarloOccupancy(1, 10, testRand()); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := m.MonteCarloOccupancy(10, 0, testRand()); err == nil {
+		t.Error("0 trials accepted")
+	}
+	bad := OccupancyModel{L: 64, V: 16}
+	if _, _, err := bad.MonteCarloOccupancy(10, 1, testRand()); err == nil {
+		t.Error("oversize L accepted")
+	}
+}
+
+func TestOccupancyModelValidate(t *testing.T) {
+	t.Parallel()
+	if err := (OccupancyModel{L: 0, V: 16}).Validate(); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if err := (OccupancyModel{L: 32, V: 1}).Validate(); err == nil {
+		t.Error("V=1 accepted")
+	}
+	if _, err := (OccupancyModel{L: 32, V: 16}).Distribution(1); err == nil {
+		t.Error("n=1 distribution accepted")
+	}
+}
+
+func TestDensityTestCheck(t *testing.T) {
+	t.Parallel()
+	dt, err := NewDensityTest(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dt.Check(36, 35) {
+		t.Error("slightly sparser table rejected")
+	}
+	if !dt.Check(36, 30) {
+		t.Error("within-γ table rejected (1.2*30=36)")
+	}
+	if dt.Check(36, 25) {
+		t.Error("clearly sparse table accepted (1.2*25=30 < 36)")
+	}
+	for _, bad := range []float64{1, 0.5, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewDensityTest(bad); err == nil {
+			t.Errorf("γ=%v accepted", bad)
+		}
+	}
+}
+
+func TestFalsePositiveRateProperties(t *testing.T) {
+	t.Parallel()
+	m := DefaultOccupancyModel()
+	const n = 1131
+	// FP decreases as γ grows (more tolerance).
+	prev := 1.0
+	for _, gamma := range []float64{1.01, 1.1, 1.3, 1.8, 3} {
+		fp, err := FalsePositiveRate(m, n, n, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp < 0 || fp > 1 {
+			t.Fatalf("FP(%v) = %v out of range", gamma, fp)
+		}
+		if fp > prev+1e-9 {
+			t.Fatalf("FP not decreasing at γ=%v", gamma)
+		}
+		prev = fp
+	}
+	// At γ=1 with identical distributions, FP ≈ 1/2.
+	fp, err := FalsePositiveRate(m, n, n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp-0.5) > 0.05 {
+		t.Errorf("FP(γ=1) = %v, want ~0.5", fp)
+	}
+	if _, err := FalsePositiveRate(m, n, n, 0); err == nil {
+		t.Error("γ=0 accepted")
+	}
+}
+
+func TestFalseNegativeRateProperties(t *testing.T) {
+	t.Parallel()
+	m := DefaultOccupancyModel()
+	const n = 1131
+	// FN increases with γ (more tolerance lets attackers through) and
+	// with the colluding population (denser fraudulent tables).
+	fnSmallGamma, err := FalseNegativeRate(m, n, n/5, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnBigGamma, err := FalseNegativeRate(m, n, n/5, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnBigGamma <= fnSmallGamma {
+		t.Errorf("FN should grow with γ: %v vs %v", fnSmallGamma, fnBigGamma)
+	}
+	fnMoreColluders, err := FalseNegativeRate(m, n, n/2, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnMoreColluders <= fnSmallGamma {
+		t.Errorf("FN should grow with collusion: %v vs %v", fnSmallGamma, fnMoreColluders)
+	}
+	if _, err := FalseNegativeRate(m, n, n/5, -1); err == nil {
+		t.Error("negative γ accepted")
+	}
+}
+
+func TestErrorRatesPaperAnchors(t *testing.T) {
+	t.Parallel()
+	// §4.1 without suppression: at 20% collusion the false negative rate
+	// is about 3.5%; at 30% the sum-minimizing γ gives FP ≈ 8.5% and
+	// FN ≈ 14.8%. Band-check those anchors.
+	m := DefaultOccupancyModel()
+	r20, err := OptimalGamma(m, DensityScenario{N: 1131, Collusion: 0.2}, 1.0001, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r20.FalseNegative > 0.08 {
+		t.Errorf("c=20%% FN = %v, paper ~3.5%%", r20.FalseNegative)
+	}
+	r30, err := OptimalGamma(m, DensityScenario{N: 1131, Collusion: 0.3}, 1.0001, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r30.FalsePositive < 0.03 || r30.FalsePositive > 0.15 {
+		t.Errorf("c=30%% FP = %v, paper ~8.5%%", r30.FalsePositive)
+	}
+	if r30.FalseNegative < 0.05 || r30.FalseNegative > 0.25 {
+		t.Errorf("c=30%% FN = %v, paper ~14.8%%", r30.FalseNegative)
+	}
+	// Errors grow with collusion.
+	if r30.Sum() <= r20.Sum() {
+		t.Error("misclassification should grow with collusion")
+	}
+}
+
+func TestSuppressionMakesTestLessReliable(t *testing.T) {
+	t.Parallel()
+	// §4.1: with suppression attacks the checks are "not very reliable"
+	// past 20% collusion — both error rates must exceed the
+	// no-suppression rates at the same collusion level.
+	m := DefaultOccupancyModel()
+	for _, c := range []float64{0.2, 0.3} {
+		plain, err := OptimalGamma(m, DensityScenario{N: 1131, Collusion: c}, 1.0001, 3, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup, err := OptimalGamma(m, DensityScenario{N: 1131, Collusion: c, Suppression: true}, 1.0001, 3, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sup.Sum() <= plain.Sum() {
+			t.Errorf("c=%v: suppression did not worsen errors (%v vs %v)",
+				c, sup.Sum(), plain.Sum())
+		}
+	}
+}
+
+func TestDensityScenarioValidation(t *testing.T) {
+	t.Parallel()
+	if err := (DensityScenario{N: 1, Collusion: 0.2}).Validate(); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if err := (DensityScenario{N: 100, Collusion: 0}).Validate(); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if err := (DensityScenario{N: 100, Collusion: 1}).Validate(); err == nil {
+		t.Error("c=1 accepted")
+	}
+	if _, err := ErrorRatesAt(DefaultOccupancyModel(), DensityScenario{N: 1, Collusion: 0.2}, 1.1); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, err := OptimalGamma(DefaultOccupancyModel(), DensityScenario{N: 100, Collusion: 0.2}, 2, 1, 10); err == nil {
+		t.Error("inverted sweep accepted")
+	}
+}
+
+func TestDistributionMatchesStatsLayer(t *testing.T) {
+	t.Parallel()
+	// The model's Poisson binomial must agree with direct Eq. 1 sums.
+	m := DefaultOccupancyModel()
+	const n = 500
+	pb, err := m.Distribution(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for row := 0; row < m.L; row++ {
+		want += float64(m.V) * m.FillProb(row, n)
+	}
+	if got := pb.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean %v, want %v", got, want)
+	}
+	if pb.N() != m.Slots() {
+		t.Errorf("trials = %d, want %d", pb.N(), m.Slots())
+	}
+}
+
+func TestMonteCarloOccupancyDeterministic(t *testing.T) {
+	t.Parallel()
+	m := DefaultOccupancyModel()
+	m1, s1, err := m.MonteCarloOccupancy(300, 50, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, s2, err := m.MonteCarloOccupancy(300, 50, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 || s1 != s2 {
+		t.Error("same seed gave different Monte Carlo results")
+	}
+}
+
+var sinkRates DensityErrorRates
+
+func BenchmarkOptimalGamma(b *testing.B) {
+	m := DefaultOccupancyModel()
+	s := DensityScenario{N: 1131, Collusion: 0.3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := OptimalGamma(m, s, 1.0001, 3, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRates = r
+	}
+}
+
+var sinkNormal stats.Normal
+
+func BenchmarkNormalApprox(b *testing.B) {
+	m := DefaultOccupancyModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n, err := m.NormalApprox(1131)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkNormal = n
+	}
+}
+
+func TestOccupancyNormalApproxKSTest(t *testing.T) {
+	t.Parallel()
+	// Figure 1, quantified: simulated occupancies must not be rejected
+	// against the analytic φ(μφ, σφ) by a KS test at the 1% level.
+	m := DefaultOccupancyModel()
+	const n = 1131
+	approx, err := m.NormalApprox(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRand()
+	const trials = 400
+	sample := make([]float64, trials)
+	for i := range sample {
+		mean, _, err := m.MonteCarloOccupancy(n, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Continuity-correct the integer count with uniform jitter so
+		// the KS test compares against a continuous reference fairly.
+		sample[i] = mean + r.Float64() - 0.5
+	}
+	d, err := stats.KolmogorovSmirnov(sample, approx.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := stats.KSCriticalValue(trials, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Errorf("normal approximation rejected by KS test: D=%.4f crit=%.4f", d, crit)
+	}
+}

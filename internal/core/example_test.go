@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"concilium/internal/core"
+	"concilium/internal/id"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+// ExampleBlameEngine_Blame reproduces the paper's §3.4 worked example:
+// two probes saw the link down, one saw it up, probe accuracy is 0.8 —
+// so the confidence the link was bad is 0.6 and the forwarder's blame
+// is 0.4.
+func ExampleBlameEngine_Blame() {
+	archive := tomography.NewArchive()
+	q := id.MustParse("00000000000000000000000000000001")
+	r := id.MustParse("00000000000000000000000000000002")
+	s := id.MustParse("00000000000000000000000000000003")
+	judged := id.MustParse("000000000000000000000000000000ff")
+
+	link := topology.LinkID(7)
+	_ = archive.Record(q, 0, []tomography.LinkObservation{{Link: link, Up: false}})
+	_ = archive.Record(r, 0, []tomography.LinkObservation{{Link: link, Up: false}})
+	_ = archive.Record(s, 0, []tomography.LinkObservation{{Link: link, Up: true}})
+
+	engine, err := core.NewBlameEngine(archive, core.BlameConfig{
+		ProbeAccuracy:   0.8,
+		Delta:           time.Minute,
+		GuiltyThreshold: 0.4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := engine.Blame(judged, []topology.LinkID{link}, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("confidence link was bad: %.1f\n", res.WorstLink.Confidence)
+	fmt.Printf("blame on the forwarder: %.1f\n", res.Blame)
+	// Output:
+	// confidence link was bad: 0.6
+	// blame on the forwarder: 0.4
+}
+
+// ExampleRevisionChain shows §3.5's recursive revision: A's accusation
+// against B is amended with B's verdict against C, exonerating B.
+func ExampleRevisionChain() {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ids := make([]id.ID, 4) // A, B, C, Z
+	keys := make([]sigcrypto.KeyPair, 4)
+	for i := range ids {
+		ids[i] = id.Random(rng)
+		keys[i] = sigcrypto.KeyPairFromRand(rng)
+	}
+	engine, err := core.NewBlameEngine(tomography.NewArchive(), core.DefaultBlameConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	const msgID = 7
+	accuse := func(accuser, accused int) core.Accusation {
+		res, err := engine.Blame(ids[accused], []topology.LinkID{1}, 0)
+		if err != nil {
+			fmt.Println(err)
+		}
+		commit := core.NewCommitment(keys[accused], ids[accuser], ids[accused], ids[3], msgID, 0)
+		acc, err := core.NewAccusation(keys[accuser], ids[accuser], res, msgID, nil, commit)
+		if err != nil {
+			fmt.Println(err)
+		}
+		return acc
+	}
+	chain, err := core.NewRevisionChain([]core.Accusation{accuse(0, 1)})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("culprit before revision is B:", chain.Culprit() == ids[1])
+	chain, err = chain.Extend(accuse(1, 2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("culprit after revision is C:", chain.Culprit() == ids[2])
+	fmt.Println("B exonerated:", len(chain.Exonerated()) == 1 && chain.Exonerated()[0] == ids[1])
+	// Output:
+	// culprit before revision is B: true
+	// culprit after revision is C: true
+	// B exonerated: true
+}
+
+// ExampleOccupancyModel shows the §3.1 occupancy analytics behind the
+// density test: the expected routing-table size of a 100,000-node
+// overlay matches the paper's 77 entries (μφ + 16 leaves).
+func ExampleOccupancyModel() {
+	model := core.DefaultOccupancyModel()
+	mu, err := model.ExpectedOccupancy(100000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("expected routing entries at N=100k: %.0f\n", mu+16)
+	// Output:
+	// expected routing entries at N=100k: 78
+}
+
+// ExampleAccusationErrorRates reproduces Figure 6's headline: with
+// w=100 and the paper's measured per-drop probabilities, m=6 drives
+// both formal-accusation error rates below 1%.
+func ExampleAccusationErrorRates() {
+	fp, fn, err := core.AccusationErrorRates(core.WindowConfig{W: 100, M: 6}, 0.018, 0.938)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("false positives below 1%%: %v\n", fp < 0.01)
+	fmt.Printf("false negatives below 1%%: %v\n", fn < 0.01)
+	// Output:
+	// false positives below 1%: true
+	// false negatives below 1%: true
+}

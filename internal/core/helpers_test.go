@@ -1,0 +1,17 @@
+package core
+
+import (
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/tomography"
+)
+
+// overlayRoute traces a secure route for tests.
+func overlayRoute(states map[id.ID]*overlay.RoutingState, src, dst id.ID) ([]id.ID, error) {
+	return overlay.RouteSecure(states, src, dst, 0)
+}
+
+// probeRecord builds an archive record for filter tests.
+func probeRecord(prober id.ID, up bool) tomography.ProbeRecord {
+	return tomography.ProbeRecord{Prober: prober, Up: up}
+}

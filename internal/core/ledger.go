@@ -1,0 +1,121 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+	"sync"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+)
+
+// StewardLedger is the bookkeeping side of §3.7's batched
+// acknowledgments: a steward records every message it forwarded toward
+// a destination, consumes that destination's signed batch acks, and
+// answers "which messages still need a blame evaluation". With digest
+// acks the answer is exact; with counter acks the steward only learns
+// the loss rate of a span and treats the whole span as suspect when it
+// is non-zero — the precision/bandwidth trade-off the paper describes.
+type StewardLedger struct {
+	owner id.ID
+
+	mu      sync.Mutex
+	pending map[id.ID]map[uint64]netsim.Time // per destination: msgID → sent time
+}
+
+// NewStewardLedger creates an empty ledger for owner.
+func NewStewardLedger(owner id.ID) *StewardLedger {
+	return &StewardLedger{owner: owner, pending: make(map[id.ID]map[uint64]netsim.Time)}
+}
+
+// RecordSent notes a forwarded message awaiting acknowledgment.
+func (l *StewardLedger) RecordSent(dest id.ID, msgID uint64, at netsim.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.pending[dest]
+	if m == nil {
+		m = make(map[uint64]netsim.Time)
+		l.pending[dest] = m
+	}
+	m[msgID] = at
+}
+
+// Pending returns the message IDs still awaiting acknowledgment from
+// dest, oldest first.
+func (l *StewardLedger) Pending(dest id.ID) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.pending[dest]
+	out := make([]uint64, 0, len(m))
+	for msgID := range m {
+		out = append(out, msgID)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := m[out[i]], m[out[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ConsumeAck applies a verified batch acknowledgment from dest and
+// returns the message IDs the ack proves delivered (now cleared from
+// the ledger). Digest acks clear exactly the covered messages; counter
+// acks with zero loss clear every pending message in the span, while a
+// lossy counter ack clears nothing — the steward cannot tell which
+// messages died, so all of them remain candidates for blame.
+func (l *StewardLedger) ConsumeAck(dest id.ID, ack *BatchAck, destPub ed25519.PublicKey) ([]uint64, error) {
+	if ack == nil {
+		return nil, fmt.Errorf("core: nil batch ack")
+	}
+	if err := ack.Verify(destPub); err != nil {
+		return nil, err
+	}
+	if ack.By != dest {
+		return nil, fmt.Errorf("core: ack signed by %s, expected %s", ack.By.Short(), dest.Short())
+	}
+	if ack.From != l.owner {
+		return nil, fmt.Errorf("core: ack covers messages from %s, not %s", ack.From.Short(), l.owner.Short())
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.pending[dest]
+	if len(m) == 0 {
+		return nil, nil
+	}
+	var cleared []uint64
+	switch {
+	case len(ack.Digests) > 0:
+		for msgID := range m {
+			if ack.Covers(l.owner, msgID) {
+				cleared = append(cleared, msgID)
+				delete(m, msgID)
+			}
+		}
+	case ack.LossRate() == 0:
+		for msgID := range m {
+			cleared = append(cleared, msgID)
+			delete(m, msgID)
+		}
+	}
+	sort.Slice(cleared, func(i, j int) bool { return cleared[i] < cleared[j] })
+	return cleared, nil
+}
+
+// NeedsBlame returns the messages sent to dest at or before cutoff that
+// remain unacknowledged — the drops the steward must now judge.
+func (l *StewardLedger) NeedsBlame(dest id.ID, cutoff netsim.Time) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []uint64
+	for msgID, at := range l.pending[dest] {
+		if at <= cutoff {
+			out = append(out, msgID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

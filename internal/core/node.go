@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+// Behavior describes how a simulated node deviates from the protocol.
+// The zero value is fully honest.
+type Behavior struct {
+	// DropsMessages makes the node silently discard messages it
+	// committed to forward — the forwarding fault Concilium exists to
+	// catch.
+	DropsMessages bool
+	// InvertsProbes makes the node publish adversarially flipped probe
+	// results when it colludes against a judgment (§4.3): claiming links
+	// up when an innocent peer is judged, down when a colluder is.
+	InvertsProbes bool
+}
+
+// Honest reports whether the node follows the protocol.
+func (b Behavior) Honest() bool { return !b.DropsMessages && !b.InvertsProbes }
+
+// Node is one Concilium participant: its identity, overlay routing
+// state, attachment point, and tomography tree.
+type Node struct {
+	Cert     sigcrypto.Certificate
+	Keys     sigcrypto.KeyPair
+	Router   topology.RouterID
+	Routing  *overlay.RoutingState
+	Tree     *tomography.Tree
+	Behavior Behavior
+
+	// msgSeq numbers locally originated messages.
+	msgSeq uint64
+}
+
+// ID returns the node's overlay identifier.
+func (n *Node) ID() id.ID { return n.Cert.NodeID }
+
+// NextMsgID issues a fresh locally unique message number.
+func (n *Node) NextMsgID() uint64 {
+	n.msgSeq++
+	return n.msgSeq
+}
+
+// PathToPeer returns the IP link path from this node to one of its
+// routing peers, from its tomography tree.
+func (n *Node) PathToPeer(peer id.ID) ([]topology.LinkID, error) {
+	path, ok := n.Tree.PathTo(peer)
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no path to peer %s", n.ID().Short(), peer.Short())
+	}
+	return path, nil
+}
+
+// BuildAdvert assembles the node's signed routing advertisement entries:
+// each routing peer with a freshness timestamp signed by that peer.
+// In a deployment the timestamps arrive piggybacked on availability
+// probe responses; the directory parameter models having them on hand.
+func (n *Node) BuildAdvert(at int64, peerKeys func(id.ID) (sigcrypto.KeyPair, bool)) ([]AdvertEntry, error) {
+	peers := n.Routing.RoutingPeers()
+	entries := make([]AdvertEntry, 0, len(peers))
+	for _, p := range peers {
+		kp, ok := peerKeys(p)
+		if !ok {
+			return nil, fmt.Errorf("core: no keys for peer %s", p.Short())
+		}
+		entries = append(entries, AdvertEntry{
+			Peer:      p,
+			Freshness: sigcrypto.NewTimestamp(kp, p, at),
+		})
+	}
+	return entries, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+)
+
+// §3.7: Concilium identifies faults but is agnostic about the response.
+// This file implements the sanctioning policies the paper sketches, with
+// the one hard rule it insists on: when the overlay underpins a higher-
+// level service such as a DHT, honest nodes must not make *local*
+// decisions to evict accused nodes from leaf sets — inconsistent routing
+// would break the service. Sanctions therefore distinguish "distrust for
+// sensitive forwarding" (always safe) from "universal blacklist"
+// (applied only at a network-wide accusation-rate threshold every honest
+// node evaluates identically).
+
+// Sanction is the action a policy prescribes for a peer.
+type Sanction int
+
+// Sanction levels, mildest first.
+const (
+	// SanctionNone: the peer is in good standing.
+	SanctionNone Sanction = iota + 1
+	// SanctionDistrust: keep routing through the peer (leaf-set
+	// consistency!) but do not hand it sensitive messages and treat its
+	// tomographic claims with extra suspicion.
+	SanctionDistrust
+	// SanctionBlacklist: the network-wide accusation rate crossed the
+	// mandated threshold; every honest host refuses to peer with it.
+	SanctionBlacklist
+)
+
+// String renders the sanction for reports.
+func (s Sanction) String() string {
+	switch s {
+	case SanctionNone:
+		return "none"
+	case SanctionDistrust:
+		return "distrust"
+	case SanctionBlacklist:
+		return "blacklist"
+	default:
+		return fmt.Sprintf("sanction(%d)", int(s))
+	}
+}
+
+// PolicyConfig sets the thresholds.
+type PolicyConfig struct {
+	// DistrustAfter is the verified-accusation count that triggers
+	// local distrust.
+	DistrustAfter int
+	// BlacklistRate is the accusations-per-window rate mandating
+	// universal blacklisting.
+	BlacklistRate int
+	// RateWindow is the span over which BlacklistRate is evaluated.
+	RateWindow time.Duration
+}
+
+// DefaultPolicyConfig distrusts on the first verified accusation and
+// blacklists at three accusations within an hour.
+func DefaultPolicyConfig() PolicyConfig {
+	return PolicyConfig{DistrustAfter: 1, BlacklistRate: 3, RateWindow: time.Hour}
+}
+
+// Validate reports the first invalid field.
+func (c PolicyConfig) Validate() error {
+	switch {
+	case c.DistrustAfter < 1:
+		return fmt.Errorf("core: DistrustAfter %d must be at least 1", c.DistrustAfter)
+	case c.BlacklistRate < 1:
+		return fmt.Errorf("core: BlacklistRate %d must be at least 1", c.BlacklistRate)
+	case c.RateWindow <= 0:
+		return fmt.Errorf("core: RateWindow %v must be positive", c.RateWindow)
+	}
+	return nil
+}
+
+// AccusationFeed supplies the verified accusations on record against a
+// peer, most recent first or in any order; only timestamps are used.
+// The DHT repository provides this.
+type AccusationFeed func(peer id.ID) ([]netsim.Time, error)
+
+// Policy evaluates sanctions from the accusation record.
+type Policy struct {
+	cfg  PolicyConfig
+	feed AccusationFeed
+}
+
+// NewPolicy builds a policy over an accusation feed.
+func NewPolicy(cfg PolicyConfig, feed AccusationFeed) (*Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if feed == nil {
+		return nil, fmt.Errorf("core: policy requires an accusation feed")
+	}
+	return &Policy{cfg: cfg, feed: feed}, nil
+}
+
+// Evaluate returns the sanction for peer as of now. Because every
+// honest host reads the same DHT record and applies the same
+// thresholds, blacklisting is globally consistent — the property §3.7
+// requires before eviction is safe.
+func (p *Policy) Evaluate(peer id.ID, now netsim.Time) (Sanction, error) {
+	times, err := p.feed(peer)
+	if err != nil {
+		return SanctionNone, fmt.Errorf("core: policy feed: %w", err)
+	}
+	if len(times) == 0 {
+		return SanctionNone, nil
+	}
+	var inWindow int
+	cutoff := now.Add(-p.cfg.RateWindow)
+	for _, t := range times {
+		if t >= cutoff && t <= now {
+			inWindow++
+		}
+	}
+	switch {
+	case inWindow >= p.cfg.BlacklistRate:
+		return SanctionBlacklist, nil
+	case len(times) >= p.cfg.DistrustAfter:
+		return SanctionDistrust, nil
+	default:
+		return SanctionNone, nil
+	}
+}
+
+// MayEvictFromLeafSet encodes the paper's consistency rule: only a
+// universally applied blacklist justifies removing a peer from routing
+// state; local distrust never does.
+func MayEvictFromLeafSet(s Sanction) bool { return s == SanctionBlacklist }
+
+// MayForwardSensitive reports whether the peer may carry messages that
+// need Concilium's protection.
+func MayForwardSensitive(s Sanction) bool { return s == SanctionNone }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+)
+
+func feedOf(times map[id.ID][]netsim.Time) AccusationFeed {
+	return func(peer id.ID) ([]netsim.Time, error) {
+		return times[peer], nil
+	}
+}
+
+func TestPolicyConfigValidate(t *testing.T) {
+	t.Parallel()
+	if err := DefaultPolicyConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []PolicyConfig{
+		{DistrustAfter: 0, BlacklistRate: 3, RateWindow: time.Hour},
+		{DistrustAfter: 1, BlacklistRate: 0, RateWindow: time.Hour},
+		{DistrustAfter: 1, BlacklistRate: 3, RateWindow: 0},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := NewPolicy(DefaultPolicyConfig(), nil); err == nil {
+		t.Error("nil feed accepted")
+	}
+	if _, err := NewPolicy(PolicyConfig{}, feedOf(nil)); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestPolicyEscalation(t *testing.T) {
+	t.Parallel()
+	peer := id.MustParse("000000000000000000000000000000aa")
+	hour := netsim.Time(0).Add(time.Hour)
+	times := map[id.ID][]netsim.Time{}
+	p, err := NewPolicy(DefaultPolicyConfig(), feedOf(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean record.
+	s, err := p.Evaluate(peer, hour)
+	if err != nil || s != SanctionNone {
+		t.Fatalf("clean peer sanction = %v (%v)", s, err)
+	}
+	// One verified accusation: distrust, but no eviction.
+	times[peer] = []netsim.Time{hour.Add(-30 * time.Minute)}
+	s, err = p.Evaluate(peer, hour)
+	if err != nil || s != SanctionDistrust {
+		t.Fatalf("one accusation sanction = %v (%v)", s, err)
+	}
+	if MayEvictFromLeafSet(s) {
+		t.Error("local distrust must not evict from leaf sets (§3.7)")
+	}
+	if MayForwardSensitive(s) {
+		t.Error("distrusted peer handed sensitive messages")
+	}
+	// Three accusations within the window: blacklist.
+	times[peer] = []netsim.Time{
+		hour.Add(-10 * time.Minute), hour.Add(-20 * time.Minute), hour.Add(-30 * time.Minute),
+	}
+	s, err = p.Evaluate(peer, hour)
+	if err != nil || s != SanctionBlacklist {
+		t.Fatalf("three accusations sanction = %v (%v)", s, err)
+	}
+	if !MayEvictFromLeafSet(s) {
+		t.Error("universal blacklist should permit eviction")
+	}
+}
+
+func TestPolicyRateWindowExpires(t *testing.T) {
+	t.Parallel()
+	// Three old accusations outside the window: distrust, not blacklist.
+	peer := id.MustParse("000000000000000000000000000000bb")
+	now := netsim.Time(0).Add(10 * time.Hour)
+	times := map[id.ID][]netsim.Time{
+		peer: {
+			now.Add(-5 * time.Hour), now.Add(-6 * time.Hour), now.Add(-7 * time.Hour),
+		},
+	}
+	p, err := NewPolicy(DefaultPolicyConfig(), feedOf(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Evaluate(peer, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != SanctionDistrust {
+		t.Errorf("stale accusations gave %v, want distrust", s)
+	}
+}
+
+func TestPolicyFeedErrorPropagates(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("dht unreachable")
+	p, err := NewPolicy(DefaultPolicyConfig(), func(id.ID) ([]netsim.Time, error) {
+		return nil, sentinel
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Evaluate(id.Zero, 0); !errors.Is(err, sentinel) {
+		t.Errorf("feed error lost: %v", err)
+	}
+}
+
+func TestSanctionString(t *testing.T) {
+	t.Parallel()
+	if SanctionNone.String() != "none" || SanctionDistrust.String() != "distrust" ||
+		SanctionBlacklist.String() != "blacklist" {
+		t.Error("sanction names wrong")
+	}
+	if Sanction(99).String() == "" {
+		t.Error("unknown sanction renders empty")
+	}
+}

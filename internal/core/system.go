@@ -1,0 +1,357 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/overlay"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/stats"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+	"concilium/internal/trace"
+)
+
+// SystemConfig assembles a complete simulated Concilium deployment.
+type SystemConfig struct {
+	// Topology generates the underlying IP network.
+	Topology topology.Config
+	// OverlayFraction selects this share of end hosts as overlay nodes
+	// (the paper uses 3%).
+	OverlayFraction float64
+	// Blame parameterizes fault attribution.
+	Blame BlameConfig
+	// Window parameterizes formal accusations.
+	Window WindowConfig
+	// MaxProbeTime bounds the randomized lightweight-probe period
+	// (the paper's evaluation uses 120 s).
+	MaxProbeTime time.Duration
+	// HopLatency is the per-IP-link propagation delay; message and
+	// acknowledgment legs advance virtual time by it, so link state can
+	// genuinely change mid-flight (0 uses netsim's 2 ms default).
+	HopLatency time.Duration
+	// Failures drives the link-failure injector.
+	Failures netsim.FailureConfig
+	// MaliciousFraction marks this share of nodes as droppers+liars.
+	MaliciousFraction float64
+	// ArchiveRetention prunes probe records older than this (0 keeps
+	// everything; experiments set a few minutes to bound memory).
+	ArchiveRetention time.Duration
+	// SignedSnapshots routes every probe result through the full §3.2
+	// pipeline: the prober signs a tomographic snapshot and receivers
+	// verify the signature before archiving. Costs one signature and
+	// one verification per probe; large-scale experiments leave it off.
+	SignedSnapshots bool
+	// Tracer receives structured protocol events (probes, verdicts,
+	// accusations, link churn). Nil disables tracing.
+	Tracer trace.Recorder
+}
+
+// DefaultSystemConfig returns a medium-scale deployment with the
+// paper's protocol parameters.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Topology:        topology.DefaultConfig(),
+		OverlayFraction: 0.03,
+		Blame:           DefaultBlameConfig(),
+		Window:          DefaultWindowConfig(),
+		MaxProbeTime:    2 * time.Minute,
+		Failures:        netsim.DefaultFailureConfig(),
+	}
+}
+
+// Validate reports the first invalid field.
+func (c SystemConfig) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.OverlayFraction <= 0 || c.OverlayFraction > 1 || math.IsNaN(c.OverlayFraction) {
+		return fmt.Errorf("core: overlay fraction %v out of (0,1]", c.OverlayFraction)
+	}
+	if err := c.Blame.Validate(); err != nil {
+		return err
+	}
+	if err := c.Window.Validate(); err != nil {
+		return err
+	}
+	if c.MaxProbeTime <= 0 {
+		return fmt.Errorf("core: max probe time %v must be positive", c.MaxProbeTime)
+	}
+	if err := c.Failures.Validate(); err != nil {
+		return err
+	}
+	if c.MaliciousFraction < 0 || c.MaliciousFraction >= 1 || math.IsNaN(c.MaliciousFraction) {
+		return fmt.Errorf("core: malicious fraction %v out of [0,1)", c.MaliciousFraction)
+	}
+	if c.ArchiveRetention < 0 {
+		return fmt.Errorf("core: archive retention %v negative", c.ArchiveRetention)
+	}
+	if c.HopLatency < 0 {
+		return fmt.Errorf("core: hop latency %v negative", c.HopLatency)
+	}
+	return nil
+}
+
+// System is a complete simulated deployment: IP topology, event-driven
+// network with failure injection, a secure overlay with per-node
+// Concilium state, and a shared probe archive modeling snapshot
+// dissemination across the forest.
+type System struct {
+	Config  SystemConfig
+	Topo    *topology.Graph
+	Sim     *netsim.Simulator
+	Net     *netsim.Network
+	CA      *sigcrypto.Authority
+	Ring    *overlay.Ring
+	Nodes   map[id.ID]*Node
+	Order   []id.ID // deterministic node order
+	Archive *tomography.Archive
+	Engine  *BlameEngine
+	Window  *VerdictWindow
+
+	Injector *netsim.FailureInjector
+	rng      stats.Rand
+	probing  bool
+	// lastPrune rate-limits archive pruning: a prune sweeps every link's
+	// record list, so doing it per probe would be quadratic in practice.
+	lastPrune netsim.Time
+}
+
+// BuildSystem constructs the deployment deterministically from cfg and
+// rng: topology, certificates, routing state, and tomography trees. No
+// events are scheduled yet; call StartProbing and StartFailures, then
+// drive s.Sim.
+func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	graph, err := topology.Generate(cfg.Topology, rng)
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.NewSimulator()
+	var netOpts []netsim.NetworkOption
+	if cfg.HopLatency > 0 {
+		netOpts = append(netOpts, netsim.WithHopLatency(cfg.HopLatency))
+	}
+	if cfg.Tracer != nil {
+		netOpts = append(netOpts, netsim.WithLinkWatcher(func(l topology.LinkID, down bool) {
+			kind := trace.KindLinkRepaired
+			if down {
+				kind = trace.KindLinkFailed
+			}
+			cfg.Tracer.Record(trace.Event{At: sim.Now(), Kind: kind, Link: l})
+		}))
+	}
+	net, err := netsim.NewNetwork(graph, sim, rng, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	hosts := graph.EndHosts()
+	nOverlay := int(cfg.OverlayFraction * float64(len(hosts)))
+	if nOverlay < 4 {
+		return nil, fmt.Errorf("core: only %d overlay nodes from %d hosts; increase scale", nOverlay, len(hosts))
+	}
+	// Deterministic host sample without replacement.
+	perm := make([]int, len(hosts))
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+
+	ca := sigcrypto.NewAuthority(sigcrypto.KeyPairFromRand(rng), rng)
+	s := &System{
+		Config:  cfg,
+		Topo:    graph,
+		Sim:     sim,
+		Net:     net,
+		CA:      ca,
+		Nodes:   make(map[id.ID]*Node, nOverlay),
+		Archive: tomography.NewArchive(),
+		rng:     rng,
+	}
+
+	members := make([]id.ID, 0, nOverlay)
+	for i := 0; i < nOverlay; i++ {
+		router := hosts[perm[i]]
+		keys := sigcrypto.KeyPairFromRand(rng)
+		cert, err := ca.Issue(fmt.Sprintf("host-%d", router), keys.Public)
+		if err != nil {
+			return nil, err
+		}
+		node := &Node{Cert: cert, Keys: keys, Router: router}
+		s.Nodes[cert.NodeID] = node
+		s.Order = append(s.Order, cert.NodeID)
+		members = append(members, cert.NodeID)
+	}
+	s.Ring, err = overlay.NewRing(members)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mark malicious nodes.
+	nBad := int(cfg.MaliciousFraction * float64(nOverlay))
+	for i := 0; i < nBad; i++ {
+		s.Nodes[s.Order[i]].Behavior = Behavior{DropsMessages: true, InvertsProbes: true}
+	}
+
+	// Routing state and tomography trees.
+	for _, nid := range s.Order {
+		node := s.Nodes[nid]
+		node.Routing, err = overlay.BuildRoutingState(nid, s.Ring, rng)
+		if err != nil {
+			return nil, err
+		}
+		leaves := make([]tomography.Leaf, 0, 96)
+		for _, p := range node.Routing.RoutingPeers() {
+			leaves = append(leaves, tomography.Leaf{Node: p, Router: s.Nodes[p].Router})
+		}
+		node.Tree, err = tomography.BuildTree(graph, nid, node.Router, leaves)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s.Engine, err = NewBlameEngine(s.Archive, cfg.Blame, WithRecordFilter(s.collusionFilter))
+	if err != nil {
+		return nil, err
+	}
+	s.Window, err = NewVerdictWindow(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// collusionFilter implements the §4.3 adversary: colluding probers
+// adapt their published results to the judgment — links up when an
+// honest node is judged, links down when a colluder is.
+func (s *System) collusionFilter(judged id.ID, rec tomography.ProbeRecord) (tomography.ProbeRecord, bool) {
+	prober := s.Nodes[rec.Prober]
+	if prober == nil || !prober.Behavior.InvertsProbes {
+		return rec, true
+	}
+	judgedNode := s.Nodes[judged]
+	rec.Up = judgedNode == nil || !judgedNode.Behavior.DropsMessages
+	return rec, true
+}
+
+// Keys returns the CA-backed key directory for snapshot and accusation
+// verification.
+func (s *System) Keys() KeyDirectory {
+	return func(x id.ID) (ed25519.PublicKey, bool) {
+		n, ok := s.Nodes[x]
+		if !ok {
+			return nil, false
+		}
+		return n.Keys.Public, true
+	}
+}
+
+// OverlayPaths returns every (host → routing peer) IP path — the
+// candidate set for the failure injector and the denominators for the
+// coverage experiment.
+func (s *System) OverlayPaths() [][]topology.LinkID {
+	var out [][]topology.LinkID
+	for _, nid := range s.Order {
+		for _, leaf := range s.Nodes[nid].Tree.Leaves {
+			out = append(out, leaf.Path)
+		}
+	}
+	return out
+}
+
+// StartFailures begins the link-failure process over the overlay paths.
+func (s *System) StartFailures() error {
+	inj, err := netsim.NewFailureInjector(s.Net, s.rng, s.OverlayPaths(), s.Config.Failures)
+	if err != nil {
+		return err
+	}
+	s.Injector = inj
+	return inj.Start()
+}
+
+// StartProbing schedules every node's randomized lightweight probing
+// loop: each node observes its tree's links (with the configured probe
+// accuracy) and publishes the results into the shared archive, modeling
+// snapshot dissemination (§3.2). Colluders' records are stored truthfully
+// and flipped at judgment time by the collusion filter, matching the
+// paper's adaptive adversary.
+func (s *System) StartProbing() error {
+	if s.probing {
+		return fmt.Errorf("core: probing already started")
+	}
+	s.probing = true
+	for _, nid := range s.Order {
+		node := s.Nodes[nid]
+		if err := s.scheduleProbe(node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) scheduleProbe(node *Node) error {
+	delay := time.Duration(s.rng.Float64() * float64(s.Config.MaxProbeTime))
+	return s.Sim.ScheduleAfter(delay, func() {
+		obs, err := tomography.ObserveLinks(s.Net, node.Tree.Links(), s.Config.Blame.ProbeAccuracy, s.rng)
+		if err == nil {
+			if s.Config.SignedSnapshots {
+				s.publishSnapshot(node, obs)
+			} else {
+				_ = s.Archive.Record(node.ID(), s.Sim.Now(), obs)
+			}
+			s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindProbe, Node: node.ID()})
+		}
+		if s.Config.ArchiveRetention > 0 {
+			now := s.Sim.Now()
+			if now.Sub(s.lastPrune) >= s.Config.ArchiveRetention/4 {
+				s.lastPrune = now
+				s.Archive.Prune(now.Add(-s.Config.ArchiveRetention))
+			}
+		}
+		_ = s.scheduleProbe(node)
+	})
+}
+
+// publishSnapshot runs the full §3.2 dissemination path: the prober
+// signs its snapshot and receivers validate the signature before
+// archiving. Snapshots that fail validation never enter the archive.
+func (s *System) publishSnapshot(node *Node, obs []tomography.LinkObservation) {
+	spacing, err := node.Routing.Leaf.MeanSpacing()
+	if err != nil {
+		spacing = 0
+	}
+	snap := &Snapshot{
+		Prober:       node.ID(),
+		At:           s.Sim.Now(),
+		Observations: obs,
+		LeafSpacing:  spacing,
+	}
+	snap.Sign(node.Keys)
+	validator := &SnapshotValidator{Keys: s.Keys()}
+	if err := validator.Ingest(s.Archive, snap); err != nil {
+		s.emit(trace.Event{
+			At: s.Sim.Now(), Kind: trace.KindSnapshotRejected,
+			Node: node.ID(), Detail: err.Error(),
+		})
+	}
+}
+
+// emit records a trace event when tracing is enabled.
+func (s *System) emit(e trace.Event) {
+	if s.Config.Tracer != nil {
+		s.Config.Tracer.Record(e)
+	}
+}
+
+// Run advances the simulation by d of virtual time.
+func (s *System) Run(d time.Duration) { s.Sim.RunFor(d) }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/stats"
+)
+
+// WindowConfig parameterizes formal accusations: a host formally accuses
+// a peer once the peer accumulates at least M guilty verdicts among the
+// last W verdicts issued against it (§3.4). The paper's evaluation uses
+// W=100 with M=6 (honest reporting) or M=16 (20% collusion).
+type WindowConfig struct {
+	W int
+	M int
+}
+
+// DefaultWindowConfig returns W=100, M=6.
+func DefaultWindowConfig() WindowConfig { return WindowConfig{W: 100, M: 6} }
+
+// Validate reports invalid parameters.
+func (c WindowConfig) Validate() error {
+	if c.W <= 0 {
+		return fmt.Errorf("core: window size %d must be positive", c.W)
+	}
+	if c.M <= 0 || c.M > c.W {
+		return fmt.Errorf("core: accusation threshold %d out of [1, %d]", c.M, c.W)
+	}
+	return nil
+}
+
+// Verdict is one thresholded blame judgment retained in the window.
+type Verdict struct {
+	Judged id.ID
+	At     netsim.Time
+	Blame  float64
+	Guilty bool
+}
+
+// VerdictWindow tracks, per judged peer, the most recent W verdicts and
+// reports when the formal-accusation threshold trips.
+type VerdictWindow struct {
+	cfg WindowConfig
+	per map[id.ID]*peerWindow
+}
+
+type peerWindow struct {
+	verdicts []Verdict // ring buffer
+	next     int
+	filled   int
+	guilty   int
+}
+
+// NewVerdictWindow creates an empty window set.
+func NewVerdictWindow(cfg WindowConfig) (*VerdictWindow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &VerdictWindow{cfg: cfg, per: make(map[id.ID]*peerWindow)}, nil
+}
+
+// Add records a verdict and reports whether the judged peer now meets
+// the formal-accusation threshold (at least M guilty among the last W).
+func (vw *VerdictWindow) Add(v Verdict) bool {
+	pw := vw.per[v.Judged]
+	if pw == nil {
+		pw = &peerWindow{verdicts: make([]Verdict, vw.cfg.W)}
+		vw.per[v.Judged] = pw
+	}
+	if pw.filled == vw.cfg.W {
+		// Evict the oldest verdict.
+		if pw.verdicts[pw.next].Guilty {
+			pw.guilty--
+		}
+	} else {
+		pw.filled++
+	}
+	pw.verdicts[pw.next] = v
+	pw.next = (pw.next + 1) % vw.cfg.W
+	if v.Guilty {
+		pw.guilty++
+	}
+	return pw.guilty >= vw.cfg.M
+}
+
+// GuiltyCount returns the number of guilty verdicts currently in the
+// peer's window.
+func (vw *VerdictWindow) GuiltyCount(peer id.ID) int {
+	if pw := vw.per[peer]; pw != nil {
+		return pw.guilty
+	}
+	return 0
+}
+
+// Recent returns the verdicts currently in the peer's window, oldest
+// first — the evidence bundle a formal accusation archives (§3.4).
+func (vw *VerdictWindow) Recent(peer id.ID) []Verdict {
+	pw := vw.per[peer]
+	if pw == nil {
+		return nil
+	}
+	out := make([]Verdict, 0, pw.filled)
+	start := pw.next - pw.filled
+	for i := 0; i < pw.filled; i++ {
+		out = append(out, pw.verdicts[((start+i)%vw.cfg.W+vw.cfg.W)%vw.cfg.W])
+	}
+	return out
+}
+
+// AccusationErrorRates computes Figure 6's analytic error rates: with
+// per-drop guilty probabilities pGood (innocent peer) and pFaulty
+// (faulty peer), the number of guilty verdicts in a W-slot window is
+// binomial, so
+//
+//	Pr(false positive) = Pr(W_good ≥ M)     (innocent formally accused)
+//	Pr(false negative) = Pr(W_faulty < M)   (faulty peer escapes)
+func AccusationErrorRates(cfg WindowConfig, pGood, pFaulty float64) (fp, fn float64, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	bGood, err := stats.NewBinomial(cfg.W, pGood)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: pGood: %w", err)
+	}
+	bFaulty, err := stats.NewBinomial(cfg.W, pFaulty)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: pFaulty: %w", err)
+	}
+	return bGood.UpperTail(cfg.M), bFaulty.LowerTail(cfg.M), nil
+}
+
+// MinimalM returns the smallest M (for the given W) driving both error
+// rates at or below target, or an error if none exists. The paper finds
+// M=6 for honest reporting and M=16 under 20% collusion at target 1%.
+func MinimalM(w int, pGood, pFaulty, target float64) (int, error) {
+	if w <= 0 {
+		return 0, fmt.Errorf("core: window size %d must be positive", w)
+	}
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("core: target rate %v out of (0,1)", target)
+	}
+	for m := 1; m <= w; m++ {
+		fp, fn, err := AccusationErrorRates(WindowConfig{W: w, M: m}, pGood, pFaulty)
+		if err != nil {
+			return 0, err
+		}
+		if fp <= target && fn <= target {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no M in [1,%d] achieves error rate %v", w, target)
+}

@@ -1,0 +1,197 @@
+// Package dht implements the replicated accusation repository of §3.4:
+// formal accusations are inserted into a DHT living atop the secure
+// overlay, keyed by the accused host's identity, and fetched by any host
+// considering that peer. Inserts and fetches go to the replica set of
+// ring members closest to the key, so a few faulty replicas cannot
+// suppress an accusation.
+package dht
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+)
+
+// DefaultReplicas is the replica-set size for each key.
+const DefaultReplicas = 4
+
+// Store is a replicated key-value store over the overlay membership.
+// Values are opaque bytes; multiple distinct values may accumulate under
+// one key (a host can be accused by many peers).
+type Store struct {
+	ring     *overlay.Ring
+	replicas int
+	nodes    map[id.ID]*nodeStore
+	faulty   map[id.ID]bool
+}
+
+type nodeStore struct {
+	values map[id.ID][][]byte
+}
+
+// New creates a store replicating each key onto the `replicas` closest
+// ring members.
+func New(ring *overlay.Ring, replicas int) (*Store, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("dht: nil ring")
+	}
+	if replicas <= 0 {
+		return nil, fmt.Errorf("dht: replicas %d must be positive", replicas)
+	}
+	if replicas > ring.Size() {
+		replicas = ring.Size()
+	}
+	s := &Store{
+		ring:     ring,
+		replicas: replicas,
+		nodes:    make(map[id.ID]*nodeStore, ring.Size()),
+		faulty:   make(map[id.ID]bool),
+	}
+	for _, m := range ring.Members() {
+		s.nodes[m] = &nodeStore{values: make(map[id.ID][][]byte)}
+	}
+	return s, nil
+}
+
+// SetFaulty marks a replica as misbehaving: it drops writes and returns
+// nothing on reads. Used by failure-injection tests to check that
+// replication tolerates bad replicas.
+func (s *Store) SetFaulty(node id.ID, faulty bool) error {
+	if _, ok := s.nodes[node]; !ok {
+		return fmt.Errorf("dht: unknown node %s", node.Short())
+	}
+	s.faulty[node] = faulty
+	return nil
+}
+
+// ReplicaSet returns the members responsible for key, nearest first.
+func (s *Store) ReplicaSet(key id.ID) []id.ID {
+	members := s.ring.Members()
+	out := make([]id.ID, len(members))
+	copy(out, members)
+	sort.Slice(out, func(i, j int) bool { return id.Closer(out[i], out[j], key) })
+	return out[:s.replicas]
+}
+
+// Put stores value under key on every live replica. It fails only when
+// every replica is faulty.
+func (s *Store) Put(key id.ID, value []byte) error {
+	if len(value) == 0 {
+		return fmt.Errorf("dht: empty value")
+	}
+	stored := 0
+	for _, r := range s.ReplicaSet(key) {
+		if s.faulty[r] {
+			continue
+		}
+		ns := s.nodes[r]
+		// Deduplicate identical values on the same replica.
+		dup := false
+		for _, v := range ns.values[key] {
+			if bytes.Equal(v, value) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cp := append([]byte(nil), value...)
+			ns.values[key] = append(ns.values[key], cp)
+		}
+		stored++
+	}
+	if stored == 0 {
+		return fmt.Errorf("dht: all %d replicas for %s are faulty", s.replicas, key.Short())
+	}
+	return nil
+}
+
+// Get returns the distinct values stored under key across the replica
+// set, in first-seen order.
+func (s *Store) Get(key id.ID) [][]byte {
+	var out [][]byte
+	seen := make(map[string]bool)
+	for _, r := range s.ReplicaSet(key) {
+		if s.faulty[r] {
+			continue
+		}
+		for _, v := range s.nodes[r].values[key] {
+			k := string(v)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, append([]byte(nil), v...))
+			}
+		}
+	}
+	return out
+}
+
+// Load returns the number of keys a node is responsible for — used to
+// check replica balance.
+func (s *Store) Load(node id.ID) int {
+	ns, ok := s.nodes[node]
+	if !ok {
+		return 0
+	}
+	return len(ns.values)
+}
+
+// Rebalance migrates the store onto a new membership ring: every value
+// still held by a live replica is re-homed onto the key's new replica
+// set. Values whose every replica departed or turned faulty are lost —
+// the availability bound replication buys. Accusation durability across
+// churn therefore depends on the replica count relative to the churn
+// rate, exactly as in a deployed DHT.
+func (s *Store) Rebalance(newRing *overlay.Ring) error {
+	if newRing == nil {
+		return fmt.Errorf("dht: nil ring")
+	}
+	// Collect surviving values: only from live members of the OLD ring
+	// that remain live (faulty nodes contribute nothing).
+	type kv struct {
+		key   id.ID
+		value []byte
+	}
+	var survivors []kv
+	seen := make(map[string]bool)
+	for node, ns := range s.nodes {
+		if s.faulty[node] {
+			continue
+		}
+		for key, values := range ns.values {
+			for _, v := range values {
+				dedupe := string(key[:]) + "\x00" + string(v)
+				if !seen[dedupe] {
+					seen[dedupe] = true
+					survivors = append(survivors, kv{key: key, value: v})
+				}
+			}
+		}
+	}
+
+	replicas := s.replicas
+	if replicas > newRing.Size() {
+		replicas = newRing.Size()
+	}
+	fresh := make(map[id.ID]*nodeStore, newRing.Size())
+	faulty := make(map[id.ID]bool)
+	for _, m := range newRing.Members() {
+		fresh[m] = &nodeStore{values: make(map[id.ID][][]byte)}
+		if s.faulty[m] {
+			faulty[m] = true // a faulty node stays faulty across churn
+		}
+	}
+	s.ring = newRing
+	s.replicas = replicas
+	s.nodes = fresh
+	s.faulty = faulty
+
+	for _, item := range survivors {
+		// Best effort: a key whose whole new replica set is faulty is
+		// dropped rather than failing the rebalance.
+		_ = s.Put(item.key, item.value)
+	}
+	return nil
+}

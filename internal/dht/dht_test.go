@@ -1,0 +1,454 @@
+package dht
+
+import (
+	"crypto/ed25519"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"concilium/internal/core"
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+func testRing(t *testing.T, n int, r *rand.Rand) (*overlay.Ring, []id.ID) {
+	t.Helper()
+	ids := make([]id.ID, n)
+	seen := map[id.ID]bool{}
+	for i := 0; i < n; {
+		x := id.Random(r)
+		if !seen[x] {
+			seen[x] = true
+			ids[i] = x
+			i++
+		}
+	}
+	ring, err := overlay.NewRing(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring, ids
+}
+
+func TestStoreValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(1, 2))
+	ring, _ := testRing(t, 10, r)
+	if _, err := New(nil, 3); err == nil {
+		t.Error("nil ring accepted")
+	}
+	if _, err := New(ring, 0); err == nil {
+		t.Error("0 replicas accepted")
+	}
+	// Replicas capped at ring size.
+	s, err := New(ring, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.ReplicaSet(id.Zero)); got != 10 {
+		t.Errorf("replica set = %d, want 10", got)
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(3, 4))
+	ring, ids := testRing(t, 20, r)
+	s, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ids[7]
+	if err := s.Put(key, []byte("accusation-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("accusation-2")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate put is idempotent.
+	if err := s.Put(key, []byte("accusation-1")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Get(key)
+	if len(got) != 2 {
+		t.Fatalf("Get returned %d values, want 2", len(got))
+	}
+	if s.Get(id.Zero) != nil {
+		t.Error("empty key returned values")
+	}
+	if err := s.Put(key, nil); err == nil {
+		t.Error("empty value accepted")
+	}
+}
+
+func TestStoreReplicaSetIsClosest(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(5, 6))
+	ring, _ := testRing(t, 50, r)
+	key := id.Random(r)
+	set := s3(t, ring).ReplicaSet(key)
+	// Every non-replica must be at least as far as the farthest replica.
+	farthest := set[len(set)-1]
+	inSet := map[id.ID]bool{}
+	for _, m := range set {
+		inSet[m] = true
+	}
+	for _, m := range ring.Members() {
+		if inSet[m] {
+			continue
+		}
+		if id.Closer(m, farthest, key) {
+			t.Fatalf("non-replica %s closer to key than replica %s", m.Short(), farthest.Short())
+		}
+	}
+}
+
+func s3(t *testing.T, ring *overlay.Ring) *Store {
+	t.Helper()
+	s, err := New(ring, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreSurvivesFaultyReplicas(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(7, 8))
+	ring, _ := testRing(t, 30, r)
+	s, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := id.Random(r)
+	set := s.ReplicaSet(key)
+	// Two of four replicas are faulty.
+	if err := s.SetFaulty(set[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFaulty(set[2], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(key); len(got) != 1 || string(got[0]) != "survives" {
+		t.Fatalf("Get through faulty replicas = %v", got)
+	}
+	// All replicas faulty: Put fails loudly.
+	for _, m := range set {
+		if err := s.SetFaulty(m, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(key, []byte("doomed")); err == nil {
+		t.Error("put with all-faulty replica set succeeded")
+	}
+	if err := s.SetFaulty(id.Zero, true); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+// buildVerifiedChain creates a minimal valid single-link chain.
+func buildVerifiedChain(t *testing.T, r *rand.Rand) (*core.RevisionChain, core.KeyDirectory) {
+	t.Helper()
+	type identity struct {
+		id   id.ID
+		keys sigcrypto.KeyPair
+	}
+	mk := func() identity {
+		return identity{id: id.Random(r), keys: sigcrypto.KeyPairFromRand(r)}
+	}
+	accuser, accused, dest := mk(), mk(), mk()
+	dir := map[id.ID]ed25519.PublicKey{
+		accuser.id: accuser.keys.Public,
+		accused.id: accused.keys.Public,
+		dest.id:    dest.keys.Public,
+	}
+	keys := func(x id.ID) (ed25519.PublicKey, bool) { k, ok := dir[x]; return k, ok }
+
+	eng, err := core.NewBlameEngine(tomography.NewArchive(), core.DefaultBlameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Blame(accused.id, []topology.LinkID{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := core.NewCommitment(accused.keys, accuser.id, accused.id, dest.id, 5, 90)
+	acc, err := core.NewAccusation(accuser.keys, accuser.id, res, 5, []topology.LinkID{1}, commit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := core.NewRevisionChain([]core.Accusation{acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain, keys
+}
+
+func TestAccusationRepoRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(9, 10))
+	chain, keys := buildVerifiedChain(t, r)
+	// Ring must include the culprit region; any members work since
+	// replica selection is by closeness, not membership of the culprit.
+	ring, _ := testRing(t, 20, r)
+	store, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := NewAccusationRepo(store, keys, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Publish(chain); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Fetch(chain.Culprit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("fetched %d chains, want 1", len(got))
+	}
+	if got[0].Culprit() != chain.Culprit() {
+		t.Error("culprit changed in transit")
+	}
+	if err := got[0].Verify(keys, 0.4); err != nil {
+		t.Errorf("fetched chain does not verify: %v", err)
+	}
+	n, err := repo.Count(chain.Culprit())
+	if err != nil || n != 1 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestAccusationRepoRejectsBadChains(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(11, 12))
+	chain, keys := buildVerifiedChain(t, r)
+	ring, _ := testRing(t, 20, r)
+	store, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := NewAccusationRepo(store, keys, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the chain: publishing must refuse.
+	bad := *chain
+	bad.Links = append([]core.Accusation(nil), chain.Links...)
+	bad.Links[0].Blame = 0.99
+	if err := repo.Publish(&bad); err == nil {
+		t.Error("unverifiable chain published")
+	}
+	if err := repo.Publish(nil); err == nil {
+		t.Error("nil chain published")
+	}
+
+	// Garbage injected directly at replicas is filtered on fetch.
+	if err := store.Put(chain.Culprit(), []byte("not-a-chain")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Fetch(chain.Culprit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("garbage survived verification: %d chains", len(got))
+	}
+}
+
+func TestNewAccusationRepoValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(13, 14))
+	ring, _ := testRing(t, 5, r)
+	store, err := New(ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := func(id.ID) (ed25519.PublicKey, bool) { return nil, false }
+	if _, err := NewAccusationRepo(nil, keys, 0.4); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewAccusationRepo(store, nil, 0.4); err == nil {
+		t.Error("nil keys accepted")
+	}
+	if _, err := NewAccusationRepo(store, keys, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestStoreLoadBalance(t *testing.T) {
+	t.Parallel()
+	// Random keys should spread across replicas rather than piling on
+	// one member.
+	r := rand.New(rand.NewPCG(15, 16))
+	ring, _ := testRing(t, 40, r)
+	s, err := New(ring, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Put(id.Random(r), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	max := 0
+	for _, m := range ring.Members() {
+		if l := s.Load(m); l > max {
+			max = l
+		}
+	}
+	// 200 keys x 3 replicas over 40 nodes = 15 average; a hot spot of 3x
+	// average means the closeness mapping is broken.
+	if max > 45 {
+		t.Errorf("hottest replica holds %d keys (avg 15)", max)
+	}
+}
+
+func TestRebalanceSurvivesChurn(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(17, 18))
+	ring, ids := testRing(t, 30, r)
+	s, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store values under many keys.
+	keys := make([]id.ID, 20)
+	for i := range keys {
+		keys[i] = id.Random(r)
+		if err := s.Put(keys[i], []byte{byte(i), 0xaa}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Depart three members (fewer than the replica count) and add five
+	// new ones.
+	excluded := map[id.ID]bool{ids[0]: true, ids[1]: true, ids[2]: true}
+	shrunk, err := ring.Without(excluded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := shrunk
+	for i := 0; i < 5; i++ {
+		grown, err = grown.WithMember(id.Random(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Rebalance(grown); err != nil {
+		t.Fatal(err)
+	}
+	// Every value survives: at most 3 of 4 replicas departed.
+	for i, key := range keys {
+		got := s.Get(key)
+		if len(got) != 1 || got[0][0] != byte(i) {
+			t.Fatalf("key %d lost after rebalance: %v", i, got)
+		}
+	}
+	// Replica sets now live on the new ring: departed members hold no load.
+	for dead := range excluded {
+		if s.Load(dead) != 0 {
+			t.Errorf("departed member still loaded")
+		}
+	}
+	if err := s.Rebalance(nil); err == nil {
+		t.Error("nil ring accepted")
+	}
+}
+
+func TestRebalancePreservesFaultMarks(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(19, 20))
+	ring, ids := testRing(t, 10, r)
+	s, err := New(ring, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFaulty(ids[3], true); err != nil {
+		t.Fatal(err)
+	}
+	key := id.Random(r)
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebalance(ring); err != nil {
+		t.Fatal(err)
+	}
+	// The fault mark survived the rebalance: writes still skip the node.
+	set := s.ReplicaSet(ids[3])
+	_ = set
+	if !s.faulty[ids[3]] {
+		t.Error("fault mark lost in rebalance")
+	}
+	if got := s.Get(key); len(got) != 1 {
+		t.Errorf("value lost in same-ring rebalance: %v", got)
+	}
+}
+
+// Property: any value Put under a key is returned by Get, for random
+// key/value workloads with no faulty replicas.
+func TestPropPutGetComplete(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint16, nVals uint8) bool {
+		r := rand.New(rand.NewPCG(uint64(seed), 5))
+		ring, _ := testRingQuick(30, r)
+		s, err := New(ring, 4)
+		if err != nil {
+			return false
+		}
+		type kv struct {
+			key   id.ID
+			value byte
+		}
+		var stored []kv
+		for i := 0; i < int(nVals%40)+1; i++ {
+			key := id.Random(r)
+			val := byte(r.IntN(256))
+			if err := s.Put(key, []byte{val, byte(i)}); err != nil {
+				return false
+			}
+			stored = append(stored, kv{key: key, value: val})
+		}
+		for i, item := range stored {
+			found := false
+			for _, got := range s.Get(item.key) {
+				if len(got) == 2 && got[0] == item.value && got[1] == byte(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testRingQuick(n int, r *rand.Rand) (*overlay.Ring, []id.ID) {
+	ids := make([]id.ID, n)
+	seen := map[id.ID]bool{}
+	for i := 0; i < n; {
+		x := id.Random(r)
+		if !seen[x] {
+			seen[x] = true
+			ids[i] = x
+			i++
+		}
+	}
+	ring, err := overlay.NewRing(ids)
+	if err != nil {
+		panic(err)
+	}
+	return ring, ids
+}

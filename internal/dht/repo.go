@@ -1,0 +1,78 @@
+package dht
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"concilium/internal/core"
+	"concilium/internal/id"
+)
+
+// AccusationRepo stores self-verifying revision chains in the DHT under
+// the accused host's identity. Fetches re-verify every chain, so a
+// faulty replica can at worst suppress an accusation it holds — it
+// cannot forge one (§3.4).
+type AccusationRepo struct {
+	store *Store
+	keys  core.KeyDirectory
+	// threshold is the verifier's guilty threshold for accepting chains.
+	threshold float64
+}
+
+// NewAccusationRepo wraps a store with chain verification.
+func NewAccusationRepo(store *Store, keys core.KeyDirectory, threshold float64) (*AccusationRepo, error) {
+	if store == nil || keys == nil {
+		return nil, fmt.Errorf("dht: accusation repo requires store and keys")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("dht: threshold %v out of (0,1)", threshold)
+	}
+	return &AccusationRepo{store: store, keys: keys, threshold: threshold}, nil
+}
+
+// Publish verifies and stores an amended accusation under its culprit.
+func (r *AccusationRepo) Publish(chain *core.RevisionChain) error {
+	if chain == nil {
+		return fmt.Errorf("dht: nil chain")
+	}
+	if err := chain.Verify(r.keys, r.threshold); err != nil {
+		return fmt.Errorf("dht: refusing to publish unverifiable chain: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(chain); err != nil {
+		return fmt.Errorf("dht: encode chain: %w", err)
+	}
+	return r.store.Put(chain.Culprit(), buf.Bytes())
+}
+
+// Fetch returns every verifiable accusation chain against the accused.
+// Chains that fail verification are silently dropped — a corrupt
+// replica cannot manufacture reputation damage.
+func (r *AccusationRepo) Fetch(accused id.ID) ([]*core.RevisionChain, error) {
+	var out []*core.RevisionChain
+	for _, raw := range r.store.Get(accused) {
+		var chain core.RevisionChain
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&chain); err != nil {
+			continue // corrupt bytes from a bad replica
+		}
+		if chain.Verify(r.keys, r.threshold) != nil {
+			continue
+		}
+		if len(chain.Links) == 0 || chain.Culprit() != accused {
+			continue
+		}
+		out = append(out, &chain)
+	}
+	return out, nil
+}
+
+// Count returns the number of verifiable accusations against accused —
+// the quantity sanctioning policies rate-limit on (§3.7).
+func (r *AccusationRepo) Count(accused id.ID) (int, error) {
+	chains, err := r.Fetch(accused)
+	if err != nil {
+		return 0, err
+	}
+	return len(chains), nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"concilium/internal/core"
+	"concilium/internal/netsim"
+)
+
+// netsimTime aliases the simulator clock for the schedule helpers.
+type netsimTime = netsim.Time
+
+// Fig6Config parameterizes the accusation-window error analysis: given
+// the per-drop guilty probabilities measured in Figure 5, sweep the
+// accusation threshold m at window size w.
+type Fig6Config struct {
+	W       int
+	MaxM    int
+	PGood   float64
+	PFaulty float64
+}
+
+// DefaultFig6Config uses the paper's w=100 and sweeps m to 30.
+func DefaultFig6Config(pGood, pFaulty float64) Fig6Config {
+	return Fig6Config{W: 100, MaxM: 30, PGood: pGood, PFaulty: pFaulty}
+}
+
+// Validate reports the first invalid field.
+func (c Fig6Config) Validate() error {
+	if c.W <= 0 {
+		return fmt.Errorf("experiments: fig6 w %d must be positive", c.W)
+	}
+	if c.MaxM <= 0 || c.MaxM > c.W {
+		return fmt.Errorf("experiments: fig6 maxM %d out of [1, %d]", c.MaxM, c.W)
+	}
+	if c.PGood < 0 || c.PGood > 1 || c.PFaulty < 0 || c.PFaulty > 1 {
+		return fmt.Errorf("experiments: fig6 probabilities out of range")
+	}
+	return nil
+}
+
+// Fig6Result holds the error-rate curves and the minimal m achieving
+// sub-1% error — the paper's m=6 (honest) and m=16 (collusion) numbers.
+type Fig6Result struct {
+	FalsePositive Series
+	FalseNegative Series
+	// MinimalM is the smallest m with both rates at or below 1%; 0 when
+	// none exists in the sweep.
+	MinimalM int
+}
+
+// Fig6 runs the sweep.
+func Fig6(cfg Fig6Config) (*Fig6Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{
+		FalsePositive: Series{Name: "formal accusation false positive"},
+		FalseNegative: Series{Name: "formal accusation false negative"},
+	}
+	for m := 1; m <= cfg.MaxM; m++ {
+		fp, fn, err := core.AccusationErrorRates(core.WindowConfig{W: cfg.W, M: m}, cfg.PGood, cfg.PFaulty)
+		if err != nil {
+			return nil, err
+		}
+		res.FalsePositive.X = append(res.FalsePositive.X, float64(m))
+		res.FalsePositive.Y = append(res.FalsePositive.Y, fp)
+		res.FalseNegative.X = append(res.FalseNegative.X, float64(m))
+		res.FalseNegative.Y = append(res.FalseNegative.Y, fn)
+		if res.MinimalM == 0 && fp <= 0.01 && fn <= 0.01 {
+			res.MinimalM = m
+		}
+	}
+	return res, nil
+}

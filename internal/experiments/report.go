@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure from the
+// paper's evaluation (§4): jump-table occupancy modeling (Fig. 1),
+// density-test error rates with and without suppression (Figs. 2–3),
+// tomographic forest coverage (Fig. 4), blame PDFs and threshold rates
+// (Fig. 5 and the §4.3 in-text numbers), accusation-window error rates
+// (Fig. 6), and the §4.4 bandwidth accounting. Each driver returns
+// plain series/tables that cmd/concilium-bench renders as text and
+// bench_test.go exercises under `go test -bench`.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one plottable line: x values, y values, and optional
+// per-point spread (standard deviation).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	YErr []float64
+}
+
+// Validate checks internal consistency.
+func (s *Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("experiments: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+	}
+	if s.YErr != nil && len(s.YErr) != len(s.X) {
+		return fmt.Errorf("experiments: series %q has %d x but %d yerr", s.Name, len(s.X), len(s.YErr))
+	}
+	return nil
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// WriteSeries renders aligned columns for one or more series sharing an
+// x axis meaning (they need not share x values).
+func WriteSeries(w io.Writer, title string, series ...Series) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", title); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "-- %s\n", s.Name); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if s.YErr != nil {
+				if _, err := fmt.Fprintf(w, "%14.4f %14.6f ±%-12.6f\n", s.X[i], s.Y[i], s.YErr[i]); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%14.4f %14.6f\n", s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable renders a table with aligned columns.
+func WriteTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("experiments: table %q row has %d cells, want %d", t.Title, len(row), len(t.Columns))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV renders series as CSV with columns
+// series,x,y,yerr (yerr empty when absent) — for plotting tools.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y", "yerr"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+				"",
+			}
+			if s.YErr != nil {
+				rec[3] = strconv.FormatFloat(s.YErr[i], 'g', -1, 64)
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableCSV renders a table as CSV.
+func WriteTableCSV(w io.Writer, t Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("experiments: table %q row has %d cells, want %d",
+				t.Title, len(row), len(t.Columns))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"concilium/internal/core"
+	"concilium/internal/stats"
+)
+
+// CollusionSweep extends Figure 5 beyond the paper's single 20% point:
+// it sweeps the colluding fraction and reports how the per-drop guilty
+// probabilities — and the minimal accusation threshold m that still
+// achieves sub-1% error — degrade. The paper's thresholding argument
+// predicts graceful degradation until the colluders dominate per-link
+// probe populations; the sweep locates that knee.
+type CollusionSweepConfig struct {
+	// Fractions are the colluding fractions to evaluate (0 = honest).
+	Fractions []float64
+	// Base is the Figure 5 configuration each point runs under (its
+	// MaliciousFraction is overridden per point).
+	Base Fig5Config
+	// Window is w for the minimal-m computation.
+	Window int
+	// Target is the error bound for minimal m (the paper uses 1%).
+	Target float64
+}
+
+// DefaultCollusionSweepConfig sweeps 0–40% at the medium scale.
+func DefaultCollusionSweepConfig() CollusionSweepConfig {
+	base := DefaultFig5Config(0)
+	base.Duration = 40 * time.Minute
+	base.Warmup = 6 * time.Minute
+	base.SampleEvents = 30
+	base.TriplesPerEvent = 30
+	return CollusionSweepConfig{
+		Fractions: []float64{0, 0.1, 0.2, 0.3, 0.4},
+		Base:      base,
+		Window:    100,
+		Target:    0.01,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c CollusionSweepConfig) Validate() error {
+	if len(c.Fractions) == 0 {
+		return fmt.Errorf("experiments: sweep needs fractions")
+	}
+	for _, f := range c.Fractions {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("experiments: fraction %v out of [0,1)", f)
+		}
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("experiments: window %d must be positive", c.Window)
+	}
+	if c.Target <= 0 || c.Target >= 1 {
+		return fmt.Errorf("experiments: target %v out of (0,1)", c.Target)
+	}
+	return nil
+}
+
+// CollusionPoint is one sweep sample.
+type CollusionPoint struct {
+	Fraction float64
+	PGood    float64
+	PFaulty  float64
+	// MinimalM is the smallest accusation threshold with both formal
+	// error rates at or below Target, or 0 if none exists — the point
+	// where the window mechanism can no longer compensate.
+	MinimalM int
+}
+
+// CollusionSweepResult holds the sweep.
+type CollusionSweepResult struct {
+	Points []CollusionPoint
+	PGood  Series
+	PFault Series
+}
+
+// CollusionSweep runs the sweep.
+func CollusionSweep(cfg CollusionSweepConfig, rng stats.Rand) (*CollusionSweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &CollusionSweepResult{
+		PGood:  Series{Name: "p_good (innocent found guilty per drop)"},
+		PFault: Series{Name: "p_faulty (dropper found guilty per drop)"},
+	}
+	for _, f := range cfg.Fractions {
+		point := CollusionPoint{Fraction: f}
+		fig5 := cfg.Base
+		fig5.System.MaliciousFraction = f
+		r5, err := Fig5(fig5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep at c=%v: %w", f, err)
+		}
+		point.PGood, point.PFaulty = r5.PGood, r5.PFaulty
+		if m, err := core.MinimalM(cfg.Window, point.PGood, point.PFaulty, cfg.Target); err == nil {
+			point.MinimalM = m
+		}
+		res.Points = append(res.Points, point)
+		res.PGood.X = append(res.PGood.X, f)
+		res.PGood.Y = append(res.PGood.Y, point.PGood)
+		res.PFault.X = append(res.PFault.X, f)
+		res.PFault.Y = append(res.PFault.Y, point.PFaulty)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *CollusionSweepResult) Table() Table {
+	t := Table{
+		Title:   "Collusion sweep (extension): per-drop verdict quality vs colluding fraction",
+		Columns: []string{"collusion", "p_good", "p_faulty", "minimal m (w=100, <=1% error)"},
+	}
+	for _, p := range r.Points {
+		m := fmt.Sprintf("%d", p.MinimalM)
+		if p.MinimalM == 0 {
+			m = "none"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*p.Fraction),
+			fmt.Sprintf("%.3f", p.PGood),
+			fmt.Sprintf("%.3f", p.PFaulty),
+			m,
+		})
+	}
+	return t
+}

@@ -1,0 +1,72 @@
+package fuzzy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOr(t *testing.T) {
+	t.Parallel()
+	if got := Or(0.2, 0.6, 0.4); got != 0.6 {
+		t.Errorf("Or = %v, want 0.6", got)
+	}
+	if got := Or(); got != 0 {
+		t.Errorf("Or() = %v, want 0", got)
+	}
+	if got := Or(-1, 2); got != 1 {
+		t.Errorf("Or clamps: %v, want 1", got)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	t.Parallel()
+	if got := And(0.2, 0.6, 0.4); got != 0.2 {
+		t.Errorf("And = %v, want 0.2", got)
+	}
+	if got := And(); got != 1 {
+		t.Errorf("And() = %v, want 1", got)
+	}
+	if got := And(2, 0.5); got != 0.5 {
+		t.Errorf("And clamps: %v, want 0.5", got)
+	}
+}
+
+func TestNot(t *testing.T) {
+	t.Parallel()
+	if got := Not(0.3); got != 0.7 {
+		t.Errorf("Not = %v", got)
+	}
+	if got := Not(-5); got != 1 {
+		t.Errorf("Not clamps low: %v", got)
+	}
+}
+
+// De Morgan: Not(Or(a,b)) == And(Not(a), Not(b)) for fuzzy max/min.
+func TestPropDeMorgan(t *testing.T) {
+	t.Parallel()
+	f := func(a, b float64) bool {
+		a, b = Clamp(a), Clamp(b)
+		lhs := Not(Or(a, b))
+		rhs := And(Not(a), Not(b))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Range: results always in [0,1].
+func TestPropRange(t *testing.T) {
+	t.Parallel()
+	f := func(xs []float64) bool {
+		for _, v := range []float64{Or(xs...), And(xs...)} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package id implements the overlay identifier space used by Concilium's
+// secure Pastry substrate.
+//
+// Identifiers are 128-bit values interpreted as ℓ = 32 digits in base
+// v = 16, matching the parameters the paper calls "typical" (§3.1).
+// The package provides the prefix arithmetic used by jump tables, the
+// ring arithmetic used by leaf sets, and the "target point" construction
+// used by secure routing-table constraints.
+package id
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// Bytes is the identifier length in bytes.
+	Bytes = 16
+	// Digits is ℓ, the number of base-v digits in an identifier.
+	Digits = 32
+	// Base is v, the radix of each digit.
+	Base = 16
+	// BitsPerDigit is log2(Base).
+	BitsPerDigit = 4
+)
+
+// ID is a 128-bit overlay identifier. IDs are values; they are comparable
+// with == and usable as map keys.
+type ID [Bytes]byte
+
+// Zero is the all-zero identifier.
+var Zero ID
+
+// Max is the all-ones identifier, the numerically largest point on the ring.
+var Max = ID{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// FromBytes builds an ID from a 16-byte slice.
+func FromBytes(b []byte) (ID, error) {
+	var out ID
+	if len(b) != Bytes {
+		return out, fmt.Errorf("id: need %d bytes, got %d", Bytes, len(b))
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// Parse decodes a 32-character hexadecimal identifier.
+func Parse(s string) (ID, error) {
+	var out ID
+	if len(s) != Digits {
+		return out, fmt.Errorf("id: need %d hex digits, got %d", Digits, len(s))
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return out, fmt.Errorf("id: parse %q: %w", s, err)
+	}
+	copy(out[:], raw)
+	return out, nil
+}
+
+// MustParse is Parse for test fixtures and constants; it panics on error.
+func MustParse(s string) ID {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the identifier as 32 lowercase hex digits.
+func (a ID) String() string { return hex.EncodeToString(a[:]) }
+
+// Short renders the first 8 digits, for logs.
+func (a ID) Short() string { return hex.EncodeToString(a[:4]) }
+
+// Digit returns the i-th base-16 digit, with digit 0 being the most
+// significant. It panics if i is outside [0, Digits).
+func (a ID) Digit(i int) byte {
+	if i < 0 || i >= Digits {
+		panic(fmt.Sprintf("id: digit index %d out of range", i))
+	}
+	b := a[i/2]
+	if i%2 == 0 {
+		return b >> 4
+	}
+	return b & 0x0f
+}
+
+// WithDigit returns a copy of the identifier with digit i replaced by d.
+// Secure Pastry uses this to build the "target point" p for jump-table
+// slot (i, j): the local identifier with its i-th digit set to j (§2).
+func (a ID) WithDigit(i int, d byte) ID {
+	if i < 0 || i >= Digits {
+		panic(fmt.Sprintf("id: digit index %d out of range", i))
+	}
+	if d >= Base {
+		panic(fmt.Sprintf("id: digit value %d out of range", d))
+	}
+	out := a
+	if i%2 == 0 {
+		out[i/2] = (out[i/2] & 0x0f) | (d << 4)
+	} else {
+		out[i/2] = (out[i/2] & 0xf0) | d
+	}
+	return out
+}
+
+// CommonPrefixLen returns the number of leading base-16 digits shared by
+// a and b. Identical identifiers share all Digits digits.
+func CommonPrefixLen(a, b ID) int {
+	for i := 0; i < Bytes; i++ {
+		x := a[i] ^ b[i]
+		if x == 0 {
+			continue
+		}
+		if x&0xf0 != 0 {
+			return 2 * i
+		}
+		return 2*i + 1
+	}
+	return Digits
+}
+
+// Cmp compares a and b as 128-bit big-endian unsigned integers, returning
+// -1, 0, or +1.
+func Cmp(a, b ID) int {
+	for i := 0; i < Bytes; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether a < b numerically.
+func Less(a, b ID) bool { return Cmp(a, b) < 0 }
+
+// uint128 is a helper for ring arithmetic.
+type uint128 struct{ hi, lo uint64 }
+
+func toU128(a ID) uint128 {
+	var u uint128
+	for i := 0; i < 8; i++ {
+		u.hi = u.hi<<8 | uint64(a[i])
+		u.lo = u.lo<<8 | uint64(a[i+8])
+	}
+	return u
+}
+
+func fromU128(u uint128) ID {
+	var a ID
+	for i := 7; i >= 0; i-- {
+		a[i] = byte(u.hi)
+		a[i+8] = byte(u.lo)
+		u.hi >>= 8
+		u.lo >>= 8
+	}
+	return a
+}
+
+func subU128(a, b uint128) uint128 {
+	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
+	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
+	return uint128{hi: hi, lo: lo}
+}
+
+func cmpU128(a, b uint128) int {
+	switch {
+	case a.hi != b.hi:
+		if a.hi < b.hi {
+			return -1
+		}
+		return 1
+	case a.lo < b.lo:
+		return -1
+	case a.lo > b.lo:
+		return 1
+	}
+	return 0
+}
+
+// Clockwise returns the clockwise (increasing, wrapping) distance from a
+// to b on the identifier ring.
+func Clockwise(a, b ID) ID {
+	return fromU128(subU128(toU128(b), toU128(a)))
+}
+
+// Distance returns the minimal ring distance between a and b: the smaller
+// of the clockwise and counterclockwise distances.
+func Distance(a, b ID) ID {
+	cw := subU128(toU128(b), toU128(a))
+	ccw := subU128(toU128(a), toU128(b))
+	if cmpU128(cw, ccw) <= 0 {
+		return fromU128(cw)
+	}
+	return fromU128(ccw)
+}
+
+// Closer reports whether a is strictly closer to target than b is, by
+// minimal ring distance. Ties (equal distances) favour the numerically
+// smaller identifier so that "closest node" is a total order; secure
+// Pastry needs a deterministic answer for its constrained-table checks.
+func Closer(a, b, target ID) bool {
+	da, db := Distance(a, target), Distance(b, target)
+	switch Cmp(da, db) {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return Less(a, b)
+	}
+}
+
+// Between reports whether x lies on the clockwise arc (lo, hi], treating
+// the identifier space as a ring. If lo == hi the arc is the full ring.
+func Between(x, lo, hi ID) bool {
+	if lo == hi {
+		return true
+	}
+	cwLoHi := toU128(Clockwise(lo, hi))
+	cwLoX := toU128(Clockwise(lo, x))
+	if x == lo {
+		return false
+	}
+	return cmpU128(cwLoX, cwLoHi) <= 0
+}
+
+// Add returns a + delta on the ring (mod 2^128).
+func Add(a, delta ID) ID {
+	ua, ud := toU128(a), toU128(delta)
+	lo, carry := bits.Add64(ua.lo, ud.lo, 0)
+	hi, _ := bits.Add64(ua.hi, ud.hi, carry)
+	return fromU128(uint128{hi: hi, lo: lo})
+}
+
+// Spacing returns the clockwise gap from a to b as a float64. The value
+// is approximate (128-bit range flattened to float64) but is only used
+// for the density estimators in §2 and §3.1, where relative magnitudes
+// are all that matter.
+func Spacing(a, b ID) float64 {
+	u := toU128(Clockwise(a, b))
+	return float64(u.hi)*0x1p64 + float64(u.lo)
+}
+
+// RingSize is the total number of points on the ring, as a float64.
+const RingSize = 0x1p128
+
+// RandSource is the subset of a random generator the package needs.
+// Both math/rand/v2's generators and crypto-seeded sources satisfy it.
+type RandSource interface {
+	Uint64() uint64
+}
+
+// Random draws an identifier uniformly at random from src. The paper's
+// central authority assigns identifiers "randomly" (§2); experiments use
+// seeded sources for reproducibility while the live CA uses crypto/rand.
+func Random(src RandSource) ID {
+	return fromU128(uint128{hi: src.Uint64(), lo: src.Uint64()})
+}

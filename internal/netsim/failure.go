@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"concilium/internal/stats"
+	"concilium/internal/topology"
+)
+
+// FailureConfig is the paper's link-failure model (§4.2): a constant
+// fraction of the links that overlay paths traverse are down at any
+// moment; downtimes are ~15 minutes with 7.5-minute standard deviation
+// (matching observed tens-of-minutes high-loss incidents); and failures
+// are biased toward edge links by drawing the failing link's depth along
+// a random overlay path from Beta(0.9, 0.6).
+type FailureConfig struct {
+	// DownFraction is the fraction of candidate links down at any moment.
+	DownFraction float64
+	// MeanDowntime and StdDowntime parameterize the downtime normal.
+	MeanDowntime time.Duration
+	StdDowntime  time.Duration
+	// MinDowntime clips sampled downtimes away from zero and negatives.
+	MinDowntime time.Duration
+	// DepthAlpha and DepthBeta shape the Beta distribution over relative
+	// path depth used to select which link fails.
+	DepthAlpha float64
+	DepthBeta  float64
+}
+
+// DefaultFailureConfig returns the paper's parameters.
+func DefaultFailureConfig() FailureConfig {
+	return FailureConfig{
+		DownFraction: 0.05,
+		MeanDowntime: 15 * time.Minute,
+		StdDowntime:  7*time.Minute + 30*time.Second,
+		MinDowntime:  30 * time.Second,
+		DepthAlpha:   0.9,
+		DepthBeta:    0.6,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c FailureConfig) Validate() error {
+	switch {
+	case c.DownFraction < 0 || c.DownFraction >= 1 || math.IsNaN(c.DownFraction):
+		return fmt.Errorf("netsim: DownFraction %v out of [0,1)", c.DownFraction)
+	case c.MeanDowntime <= 0:
+		return fmt.Errorf("netsim: MeanDowntime %v must be positive", c.MeanDowntime)
+	case c.StdDowntime < 0:
+		return fmt.Errorf("netsim: StdDowntime %v negative", c.StdDowntime)
+	case c.MinDowntime < 0:
+		return fmt.Errorf("netsim: MinDowntime %v negative", c.MinDowntime)
+	}
+	if _, err := stats.NewBeta(c.DepthAlpha, c.DepthBeta); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FailureInjector drives link failures per FailureConfig. Candidate
+// links are those appearing on the supplied overlay paths, mirroring the
+// paper's "pick an overlay host and a random peer in its routing state"
+// selection; the target down-count is DownFraction times the number of
+// distinct candidate links, held constant by injecting a replacement
+// failure whenever a link repairs.
+type FailureInjector struct {
+	net   *Network
+	rng   stats.Rand
+	paths [][]topology.LinkID
+
+	downtime stats.Normal
+	depth    stats.Beta
+	min      time.Duration
+	target   int
+
+	started bool
+}
+
+// NewFailureInjector builds an injector over the given candidate paths.
+// Paths must be non-empty; zero-length paths are permitted but never
+// selected.
+func NewFailureInjector(net *Network, rng stats.Rand, paths [][]topology.LinkID, cfg FailureConfig) (*FailureInjector, error) {
+	if net == nil || rng == nil {
+		return nil, fmt.Errorf("netsim: injector requires network and rng")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	distinct := make(map[topology.LinkID]struct{})
+	var usable int
+	for _, p := range paths {
+		if len(p) > 0 {
+			usable++
+		}
+		for _, l := range p {
+			distinct[l] = struct{}{}
+		}
+	}
+	if usable == 0 {
+		return nil, fmt.Errorf("netsim: injector needs at least one non-empty path")
+	}
+	beta, err := stats.NewBeta(cfg.DepthAlpha, cfg.DepthBeta)
+	if err != nil {
+		return nil, err
+	}
+	return &FailureInjector{
+		net:      net,
+		rng:      rng,
+		paths:    paths,
+		downtime: stats.Normal{Mu: cfg.MeanDowntime.Seconds(), Sigma: math.Max(cfg.StdDowntime.Seconds(), 1e-9)},
+		depth:    beta,
+		min:      cfg.MinDowntime,
+		target:   int(cfg.DownFraction * float64(len(distinct))),
+	}, nil
+}
+
+// Target returns the steady-state number of concurrently failed links.
+func (f *FailureInjector) Target() int { return f.target }
+
+// Start fails the initial set of links and begins the repair/replace
+// cycle. It must be called exactly once, before running the simulator.
+func (f *FailureInjector) Start() error {
+	if f.started {
+		return fmt.Errorf("netsim: injector already started")
+	}
+	f.started = true
+	for i := 0; i < f.target; i++ {
+		if err := f.failOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failOne selects a link by the paper's path+depth rule and fails it,
+// scheduling its repair. Selection retries when it lands on an
+// already-down link.
+func (f *FailureInjector) failOne() error {
+	const maxTries = 64
+	for try := 0; try < maxTries; try++ {
+		p := f.paths[f.rng.IntN(len(f.paths))]
+		if len(p) == 0 {
+			continue
+		}
+		u := f.depth.Sample(f.rng)
+		idx := int(u * float64(len(p)))
+		if idx >= len(p) {
+			idx = len(p) - 1
+		}
+		l := p[idx]
+		if f.net.LinkDown(l) {
+			continue
+		}
+		if err := f.net.SetLinkDown(l, true); err != nil {
+			return err
+		}
+		d := f.sampleDowntime()
+		return f.net.Sim().ScheduleAfter(d, func() { f.repair(l) })
+	}
+	// All tries hit down links — the down set saturated the candidate
+	// paths. Skip; the next repair restores balance.
+	return nil
+}
+
+func (f *FailureInjector) sampleDowntime() time.Duration {
+	secs := f.downtime.Sample(f.rng)
+	d := time.Duration(secs * float64(time.Second))
+	if d < f.min {
+		d = f.min
+	}
+	return d
+}
+
+func (f *FailureInjector) repair(l topology.LinkID) {
+	// Repair, then immediately fail a replacement to hold the target.
+	if err := f.net.SetLinkDown(l, false); err != nil {
+		return
+	}
+	_ = f.failOne()
+}

@@ -1,0 +1,249 @@
+package overlay
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/stats"
+)
+
+// BuildLeafSet fills a leaf set for owner from the ring's true
+// membership: the perSide numerically closest live peers on each side.
+func BuildLeafSet(owner id.ID, ring *Ring, perSide int) (*LeafSet, error) {
+	ls, err := NewLeafSet(owner, perSide)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ring.NeighborsClockwise(owner, perSide) {
+		ls.Insert(p)
+	}
+	for _, p := range ring.NeighborsCounterClockwise(owner, perSide) {
+		ls.Insert(p)
+	}
+	return ls, nil
+}
+
+// BuildSecureTable constructs owner's constrained secure-routing table
+// (§2): slot (i, j) holds the live host whose identifier is closest to
+// the target point p = owner with digit i replaced by j, restricted to
+// hosts actually satisfying the slot's prefix constraint. Empty slots
+// mean no live host qualifies.
+func BuildSecureTable(owner id.ID, ring *Ring) (*JumpTable, error) {
+	t := NewJumpTable(owner)
+	skip := map[id.ID]bool{owner: true}
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			if owner.Digit(row) == col {
+				// The target point equals the owner's own prefix; the
+				// owner covers this slot itself.
+				continue
+			}
+			target := owner.WithDigit(row, col)
+			cand, ok := ring.ClosestWithPrefix(target, row+1, skip)
+			if !ok {
+				continue
+			}
+			if err := t.Set(cand); err != nil {
+				return nil, fmt.Errorf("overlay: secure fill: %w", err)
+			}
+		}
+		// Deeper rows require ever-longer shared prefixes; once the
+		// owner's prefix is unique in the ring no deeper slot can fill.
+		if _, any := ring.ClosestWithPrefix(owner, row+1, skip); !any {
+			break
+		}
+	}
+	return t, nil
+}
+
+// BuildStandardTable constructs a plain Pastry table: slot (i, j) may
+// hold any live host with the required prefix. Real deployments pick by
+// network proximity; the generator models that free choice by picking
+// uniformly among qualifying hosts (a proxy for proximity affinity,
+// which is orthogonal to the diagnostic protocol).
+func BuildStandardTable(owner id.ID, ring *Ring, rng stats.Rand) (*JumpTable, error) {
+	t := NewJumpTable(owner)
+	skip := map[id.ID]bool{owner: true}
+	for row := 0; row < id.Digits; row++ {
+		anyDeeper := false
+		for col := byte(0); col < id.Base; col++ {
+			if owner.Digit(row) == col {
+				anyDeeper = true // owner itself shares this prefix
+				continue
+			}
+			target := owner.WithDigit(row, col)
+			cand, ok := randomWithPrefix(ring, target, row+1, skip, rng)
+			if !ok {
+				continue
+			}
+			anyDeeper = true
+			if err := t.Set(cand); err != nil {
+				return nil, fmt.Errorf("overlay: standard fill: %w", err)
+			}
+		}
+		if !anyDeeper {
+			break
+		}
+	}
+	return t, nil
+}
+
+// randomWithPrefix picks uniformly among ring members sharing target's
+// first prefixLen digits, excluding skip.
+func randomWithPrefix(ring *Ring, target id.ID, prefixLen int, skip map[id.ID]bool, rng stats.Rand) (id.ID, bool) {
+	lo, hi := prefixRange(target, prefixLen)
+	start := ring.searchGE(lo)
+	end := ring.searchGE(hi)
+	if end < len(ring.ids) && ring.ids[end] == hi {
+		end++
+	}
+	// Reservoir-sample the qualifying arc.
+	var chosen id.ID
+	var count int
+	for i := start; i < end && i < len(ring.ids); i++ {
+		cand := ring.ids[i]
+		if skip[cand] {
+			continue
+		}
+		count++
+		if rng.IntN(count) == 0 {
+			chosen = cand
+		}
+	}
+	return chosen, count > 0
+}
+
+// RoutingState bundles one node's complete overlay state. Messages that
+// need Concilium's fault attribution are forwarded with the secure
+// table; other traffic may use the standard table (§2).
+type RoutingState struct {
+	Self     id.ID
+	Leaf     *LeafSet
+	Secure   *JumpTable
+	Standard *JumpTable
+}
+
+// BuildRoutingState assembles correct state for owner from the ring.
+func BuildRoutingState(owner id.ID, ring *Ring, rng stats.Rand) (*RoutingState, error) {
+	if !ring.Contains(owner) {
+		return nil, fmt.Errorf("overlay: %s is not a ring member", owner.Short())
+	}
+	leaf, err := BuildLeafSet(owner, ring, DefaultLeafSetPerSide)
+	if err != nil {
+		return nil, err
+	}
+	secure, err := BuildSecureTable(owner, ring)
+	if err != nil {
+		return nil, err
+	}
+	standard, err := BuildStandardTable(owner, ring, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &RoutingState{Self: owner, Leaf: leaf, Secure: secure, Standard: standard}, nil
+}
+
+// RoutingPeers returns the union of the node's secure-table occupants
+// and leaves — the peers it probes for availability and whose IP paths
+// its tomography tree covers (§3.2).
+func (rs *RoutingState) RoutingPeers() []id.ID {
+	seen := make(map[id.ID]bool)
+	var out []id.ID
+	for _, p := range rs.Secure.Peers() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range rs.Leaf.All() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NextHopSecure computes the next secure-routing hop toward target,
+// following Pastry's rule: deliver via the leaf set when it covers the
+// target, otherwise take the jump-table slot, otherwise fall back to the
+// numerically closest known peer that makes progress. The boolean is
+// false when the node itself is the destination's closest point (route
+// terminates here). Messages needing Concilium's fault attribution must
+// use this, not the standard table (§2).
+func (rs *RoutingState) NextHopSecure(target id.ID) (id.ID, bool) {
+	return rs.nextHop(rs.Secure, target)
+}
+
+// NextHopStandard routes over the unconstrained (proximity-optimized)
+// table — valid for traffic that does not need fault attribution, and
+// the fallback Pastry uses until standard routing fails (§2).
+func (rs *RoutingState) NextHopStandard(target id.ID) (id.ID, bool) {
+	return rs.nextHop(rs.Standard, target)
+}
+
+func (rs *RoutingState) nextHop(table *JumpTable, target id.ID) (id.ID, bool) {
+	if target == rs.Self {
+		return id.ID{}, false
+	}
+	if rs.Leaf.Covers(target) {
+		closest, _ := rs.Leaf.Closest(target)
+		if closest == rs.Self {
+			return id.ID{}, false
+		}
+		return closest, true
+	}
+	if hop, ok := table.NextHop(target); ok {
+		return hop, true
+	}
+	// Rare case: the exact slot is empty. Use any known peer strictly
+	// closer to the target than we are (Pastry's rule ensures progress).
+	best, found := rs.Self, false
+	for _, p := range append(table.Peers(), rs.Leaf.All()...) {
+		if id.Closer(p, best, target) {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return id.ID{}, false
+	}
+	return best, true
+}
+
+// RouteSecure traces the full overlay route from src to the node closest
+// to target, given every node's routing state. It fails on routing loops
+// or dead ends longer than maxHops.
+func RouteSecure(states map[id.ID]*RoutingState, src, target id.ID, maxHops int) ([]id.ID, error) {
+	return traceRoute(states, src, target, maxHops, (*RoutingState).NextHopSecure)
+}
+
+// RouteStandard traces a route over the standard (proximity) tables.
+func RouteStandard(states map[id.ID]*RoutingState, src, target id.ID, maxHops int) ([]id.ID, error) {
+	return traceRoute(states, src, target, maxHops, (*RoutingState).NextHopStandard)
+}
+
+func traceRoute(states map[id.ID]*RoutingState, src, target id.ID, maxHops int,
+	next func(*RoutingState, id.ID) (id.ID, bool)) ([]id.ID, error) {
+	if maxHops <= 0 {
+		maxHops = 2 * id.Digits
+	}
+	route := []id.ID{src}
+	at := src
+	for hop := 0; hop < maxHops; hop++ {
+		st, ok := states[at]
+		if !ok {
+			return nil, fmt.Errorf("overlay: no routing state for %s", at.Short())
+		}
+		hopTo, more := next(st, target)
+		if !more {
+			return route, nil
+		}
+		route = append(route, hopTo)
+		at = hopTo
+		if at == target {
+			return route, nil
+		}
+	}
+	return nil, fmt.Errorf("overlay: route from %s to %s exceeded %d hops",
+		src.Short(), target.Short(), maxHops)
+}

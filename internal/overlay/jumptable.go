@@ -1,0 +1,127 @@
+package overlay
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+)
+
+// JumpTable is a Pastry routing table: Digits rows by Base columns. The
+// entry at row i, column j shares an i-digit prefix with the owner and
+// has j as its i+1-th digit, so each row lets a message jump an
+// exponentially smaller region of the identifier space (§2).
+type JumpTable struct {
+	owner   id.ID
+	present [id.Digits][id.Base]bool
+	entries [id.Digits][id.Base]id.ID
+	filled  int
+}
+
+// NewJumpTable creates an empty jump table for owner.
+func NewJumpTable(owner id.ID) *JumpTable {
+	return &JumpTable{owner: owner}
+}
+
+// Owner returns the identifier the table is built around.
+func (t *JumpTable) Owner() id.ID { return t.owner }
+
+// slotFor returns the (row, col) a peer is eligible to occupy, or an
+// error for the owner itself.
+func (t *JumpTable) slotFor(peer id.ID) (int, byte, error) {
+	row := id.CommonPrefixLen(t.owner, peer)
+	if row == id.Digits {
+		return 0, 0, fmt.Errorf("overlay: jump table cannot hold its owner")
+	}
+	return row, peer.Digit(row), nil
+}
+
+// Set places peer in its constraint-determined slot, replacing any
+// current occupant. Invalid peers (the owner) are rejected.
+func (t *JumpTable) Set(peer id.ID) error {
+	row, col, err := t.slotFor(peer)
+	if err != nil {
+		return err
+	}
+	if !t.present[row][col] {
+		t.filled++
+	}
+	t.present[row][col] = true
+	t.entries[row][col] = peer
+	return nil
+}
+
+// Clear empties the slot at (row, col).
+func (t *JumpTable) Clear(row int, col byte) error {
+	if row < 0 || row >= id.Digits || col >= id.Base {
+		return fmt.Errorf("overlay: slot (%d, %d) out of range", row, col)
+	}
+	if t.present[row][col] {
+		t.filled--
+		t.present[row][col] = false
+		t.entries[row][col] = id.ID{}
+	}
+	return nil
+}
+
+// Slot returns the occupant of (row, col), if any.
+func (t *JumpTable) Slot(row int, col byte) (id.ID, bool) {
+	if row < 0 || row >= id.Digits || col >= id.Base {
+		return id.ID{}, false
+	}
+	return t.entries[row][col], t.present[row][col]
+}
+
+// Occupancy returns the number of filled slots.
+func (t *JumpTable) Occupancy() int { return t.filled }
+
+// Density returns the filled fraction of the ℓ×v grid — the d quantity
+// in the paper's jump-table density test (§3.1).
+func (t *JumpTable) Density() float64 {
+	return float64(t.filled) / float64(id.Digits*id.Base)
+}
+
+// Peers returns every table occupant, row-major. The slice is fresh.
+func (t *JumpTable) Peers() []id.ID {
+	out := make([]id.ID, 0, t.filled)
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			if t.present[row][col] {
+				out = append(out, t.entries[row][col])
+			}
+		}
+	}
+	return out
+}
+
+// NextHop returns the jump-table hop toward target: the occupant of the
+// slot whose row is the shared-prefix length and whose column is
+// target's next digit. The boolean is false when that slot is empty.
+func (t *JumpTable) NextHop(target id.ID) (id.ID, bool) {
+	row := id.CommonPrefixLen(t.owner, target)
+	if row >= id.Digits {
+		return id.ID{}, false // target is the owner
+	}
+	return t.Slot(row, target.Digit(row))
+}
+
+// Validate checks every occupant against its slot's prefix constraint;
+// a table that fails is structurally corrupt (or fraudulently built).
+func (t *JumpTable) Validate() error {
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			if !t.present[row][col] {
+				continue
+			}
+			peer := t.entries[row][col]
+			wantRow, wantCol, err := t.slotFor(peer)
+			if err != nil {
+				return fmt.Errorf("overlay: slot (%d,%d): %w", row, col, err)
+			}
+			if wantRow != row || wantCol != col {
+				return fmt.Errorf("overlay: peer %s in slot (%d,%d) belongs in (%d,%d)",
+					peer.Short(), row, col, wantRow, wantCol)
+			}
+		}
+	}
+	return nil
+}

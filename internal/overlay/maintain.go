@@ -1,0 +1,107 @@
+package overlay
+
+import (
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/stats"
+)
+
+// Membership maintenance. Overlay populations churn: hosts join with
+// fresh CA-issued identifiers and depart (gracefully or by failure,
+// detected through missed availability probes). Routing state must
+// track both without full rebuilds, and — for the secure table — must
+// land in exactly the state a from-scratch constrained fill would
+// produce, or the density and freshness checks of §3.1 would flag
+// honest nodes.
+
+// ApplyJoin folds a newly joined peer into the routing state. The
+// secure table admits the peer only if it is closer to the slot's
+// target point than the current occupant (the §2 constraint); the
+// standard table takes it only for empty slots (proximity choice is
+// free, so keeping the incumbent is valid).
+func (rs *RoutingState) ApplyJoin(peer id.ID) error {
+	if peer == rs.Self {
+		return fmt.Errorf("overlay: node cannot join itself")
+	}
+	rs.Leaf.Insert(peer)
+
+	row := id.CommonPrefixLen(rs.Self, peer)
+	if row >= id.Digits {
+		return fmt.Errorf("overlay: joining peer duplicates local identifier")
+	}
+	col := peer.Digit(row)
+	target := rs.Self.WithDigit(row, col)
+	if cur, ok := rs.Secure.Slot(row, col); !ok || id.Closer(peer, cur, target) {
+		if err := rs.Secure.Set(peer); err != nil {
+			return err
+		}
+	}
+	if _, ok := rs.Standard.Slot(row, col); !ok {
+		if err := rs.Standard.Set(peer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyDeparture removes a departed peer, refilling from the
+// post-departure ring. rng drives the standard table's free choice.
+func (rs *RoutingState) ApplyDeparture(peer id.ID, ring *Ring, rng stats.Rand) error {
+	if ring.Contains(peer) {
+		return fmt.Errorf("overlay: ring still contains departing peer %s", peer.Short())
+	}
+	skip := map[id.ID]bool{rs.Self: true}
+
+	// Leaf set: drop and refill the affected side from the ring.
+	if rs.Leaf.Remove(peer) {
+		for _, p := range ring.NeighborsClockwise(rs.Self, rs.Leaf.PerSide()) {
+			rs.Leaf.Insert(p)
+		}
+		for _, p := range ring.NeighborsCounterClockwise(rs.Self, rs.Leaf.PerSide()) {
+			rs.Leaf.Insert(p)
+		}
+	}
+
+	// Secure table: the departed peer occupied exactly one slot; refill
+	// it with the now-closest qualifying host.
+	row := id.CommonPrefixLen(rs.Self, peer)
+	if row < id.Digits {
+		col := peer.Digit(row)
+		if cur, ok := rs.Secure.Slot(row, col); ok && cur == peer {
+			if err := rs.Secure.Clear(row, col); err != nil {
+				return err
+			}
+			target := rs.Self.WithDigit(row, col)
+			if cand, found := ring.ClosestWithPrefix(target, row+1, skip); found {
+				if err := rs.Secure.Set(cand); err != nil {
+					return err
+				}
+			}
+		}
+		if cur, ok := rs.Standard.Slot(row, col); ok && cur == peer {
+			if err := rs.Standard.Clear(row, col); err != nil {
+				return err
+			}
+			target := rs.Self.WithDigit(row, col)
+			if cand, found := randomWithPrefix(ring, target, row+1, skip, rng); found {
+				if err := rs.Standard.Set(cand); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WithMember returns a new ring including x (used when processing a
+// join announcement).
+func (r *Ring) WithMember(x id.ID) (*Ring, error) {
+	if r.Contains(x) {
+		return nil, fmt.Errorf("overlay: ring already contains %s", x.Short())
+	}
+	members := make([]id.ID, 0, len(r.ids)+1)
+	members = append(members, r.ids...)
+	members = append(members, x)
+	return NewRing(members)
+}

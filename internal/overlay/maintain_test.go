@@ -1,0 +1,245 @@
+package overlay
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"concilium/internal/id"
+)
+
+// secureTablesEqual compares every slot of two jump tables.
+func secureTablesEqual(a, b *JumpTable) bool {
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			av, aok := a.Slot(row, col)
+			bv, bok := b.Slot(row, col)
+			if aok != bok || (aok && av != bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func leafSetsEqual(a, b *LeafSet) bool {
+	am := map[id.ID]bool{}
+	for _, x := range a.All() {
+		am[x] = true
+	}
+	bs := b.All()
+	if len(am) != len(bs) {
+		return false
+	}
+	for _, x := range bs {
+		if !am[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApplyJoinMatchesRebuild is the central churn property: folding a
+// join in incrementally must land in exactly the state a from-scratch
+// secure fill over the grown membership produces.
+func TestApplyJoinMatchesRebuild(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(501, 503))
+	ids := randomIDs(150, r)
+	baseRing := mustRing(t, ids[:100])
+	owner := ids[0]
+
+	rs, err := BuildRoutingState(owner, baseRing, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := baseRing
+	for _, joiner := range ids[100:] {
+		ring, err = ring.WithMember(joiner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.ApplyJoin(joiner); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := BuildSecureTable(owner, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !secureTablesEqual(rs.Secure, rebuilt) {
+		t.Error("incremental joins diverged from a from-scratch secure fill")
+	}
+	rebuiltLeaf, err := BuildLeafSet(owner, ring, DefaultLeafSetPerSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leafSetsEqual(rs.Leaf, rebuiltLeaf) {
+		t.Error("incremental joins diverged from a rebuilt leaf set")
+	}
+	if err := rs.Secure.Validate(); err != nil {
+		t.Errorf("secure table corrupted: %v", err)
+	}
+	if err := rs.Standard.Validate(); err != nil {
+		t.Errorf("standard table corrupted: %v", err)
+	}
+}
+
+// TestApplyDepartureMatchesRebuild: same property for departures.
+func TestApplyDepartureMatchesRebuild(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(505, 507))
+	ids := randomIDs(150, r)
+	ring := mustRing(t, ids)
+	owner := ids[0]
+
+	rs, err := BuildRoutingState(owner, ring, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depart 30 random members (never the owner).
+	departed := map[id.ID]bool{}
+	for i := 1; i <= 30; i++ {
+		peer := ids[i*4]
+		if peer == owner || departed[peer] {
+			continue
+		}
+		departed[peer] = true
+		ring, err = ring.Without(map[id.ID]bool{peer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.ApplyDeparture(peer, ring, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := BuildSecureTable(owner, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !secureTablesEqual(rs.Secure, rebuilt) {
+		t.Error("incremental departures diverged from a from-scratch secure fill")
+	}
+	rebuiltLeaf, err := BuildLeafSet(owner, ring, DefaultLeafSetPerSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leafSetsEqual(rs.Leaf, rebuiltLeaf) {
+		t.Error("incremental departures diverged from a rebuilt leaf set")
+	}
+	// No departed member may linger anywhere.
+	for _, p := range rs.RoutingPeers() {
+		if departed[p] {
+			t.Fatalf("departed peer %s still in routing state", p.Short())
+		}
+	}
+}
+
+func TestApplyJoinValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(509, 511))
+	ids := randomIDs(20, r)
+	ring := mustRing(t, ids)
+	rs, err := BuildRoutingState(ids[0], ring, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.ApplyJoin(ids[0]); err == nil {
+		t.Error("self-join accepted")
+	}
+}
+
+func TestApplyDepartureValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(513, 515))
+	ids := randomIDs(20, r)
+	ring := mustRing(t, ids)
+	rs, err := BuildRoutingState(ids[0], ring, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Departing peer must already be out of the supplied ring.
+	if err := rs.ApplyDeparture(ids[1], ring, r); err == nil {
+		t.Error("stale ring accepted")
+	}
+}
+
+func TestWithMember(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(517, 519))
+	ids := randomIDs(10, r)
+	ring := mustRing(t, ids[:9])
+	grown, err := ring.WithMember(ids[9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grown.Contains(ids[9]) || grown.Size() != 10 {
+		t.Error("WithMember did not add the member")
+	}
+	if _, err := grown.WithMember(ids[9]); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	// Original ring untouched.
+	if ring.Contains(ids[9]) {
+		t.Error("WithMember mutated the original ring")
+	}
+}
+
+func TestChurnStormKeepsRoutingCorrect(t *testing.T) {
+	t.Parallel()
+	// Interleaved joins and departures; at the end, routing from the
+	// owner must still terminate at the numerically closest live node.
+	r := rand.New(rand.NewPCG(521, 523))
+	ids := randomIDs(200, r)
+	ring := mustRing(t, ids[:120])
+	owner := ids[0]
+	rs, err := BuildRoutingState(owner, ring, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 120
+	alive := map[id.ID]bool{}
+	for _, x := range ids[:120] {
+		alive[x] = true
+	}
+	for step := 0; step < 120; step++ {
+		if step%3 == 2 && next < len(ids) {
+			joiner := ids[next]
+			next++
+			ring, err = ring.WithMember(joiner)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alive[joiner] = true
+			if err := rs.ApplyJoin(joiner); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Depart a random live member that is not the owner.
+		members := ring.Members()
+		peer := members[r.IntN(len(members))]
+		if peer == owner {
+			continue
+		}
+		ring, err = ring.Without(map[id.ID]bool{peer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delete(alive, peer)
+		if err := rs.ApplyDeparture(peer, ring, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !secureTablesEqualRebuilt(t, rs, ring) {
+		t.Error("churn storm diverged from rebuild")
+	}
+}
+
+func secureTablesEqualRebuilt(t *testing.T, rs *RoutingState, ring *Ring) bool {
+	t.Helper()
+	rebuilt, err := BuildSecureTable(rs.Self, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return secureTablesEqual(rs.Secure, rebuilt)
+}

@@ -1,0 +1,701 @@
+package overlay
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"concilium/internal/id"
+)
+
+func testRand() *rand.Rand { return rand.New(rand.NewPCG(31, 37)) }
+
+func randomIDs(n int, r *rand.Rand) []id.ID {
+	out := make([]id.ID, n)
+	seen := make(map[id.ID]bool, n)
+	for i := 0; i < n; {
+		x := id.Random(r)
+		if !seen[x] {
+			seen[x] = true
+			out[i] = x
+			i++
+		}
+	}
+	return out
+}
+
+func mustRing(t *testing.T, ids []id.ID) *Ring {
+	t.Helper()
+	r, err := NewRing(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	x := id.MustParse("0123456789abcdef0123456789abcdef")
+	if _, err := NewRing([]id.ID{x, x}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+}
+
+func TestRingClosest(t *testing.T) {
+	t.Parallel()
+	members := []id.ID{
+		id.MustParse("10000000000000000000000000000000"),
+		id.MustParse("20000000000000000000000000000000"),
+		id.MustParse("f0000000000000000000000000000000"),
+	}
+	ring := mustRing(t, members)
+	got, ok := ring.Closest(id.MustParse("22000000000000000000000000000000"), nil)
+	if !ok || got != members[1] {
+		t.Errorf("Closest = %s", got.Short())
+	}
+	// Wraparound: 0x01... is closest to 0xf0... going counterclockwise?
+	// Distance from 0x01 to 0x10 is 0x0f..., to 0xf0 is 0x11...; so 0x10 wins.
+	got, ok = ring.Closest(id.MustParse("01000000000000000000000000000000"), nil)
+	if !ok || got != members[0] {
+		t.Errorf("Closest near wrap = %s", got.Short())
+	}
+	// Skip everything: not found.
+	skip := map[id.ID]bool{members[0]: true, members[1]: true, members[2]: true}
+	if _, ok := ring.Closest(id.Zero, skip); ok {
+		t.Error("fully skipped ring returned a member")
+	}
+	// Skip the best: next best returned.
+	skip = map[id.ID]bool{members[1]: true}
+	got, ok = ring.Closest(id.MustParse("22000000000000000000000000000000"), skip)
+	if !ok || got != members[0] {
+		t.Errorf("Closest with skip = %s", got.Short())
+	}
+}
+
+func TestRingClosestWithPrefix(t *testing.T) {
+	t.Parallel()
+	members := []id.ID{
+		id.MustParse("ab000000000000000000000000000000"),
+		id.MustParse("ab100000000000000000000000000000"),
+		id.MustParse("ac000000000000000000000000000000"),
+	}
+	ring := mustRing(t, members)
+	target := id.MustParse("ab080000000000000000000000000000")
+	got, ok := ring.ClosestWithPrefix(target, 2, nil)
+	if !ok {
+		t.Fatal("no candidate found")
+	}
+	if got != members[0] && got != members[1] {
+		t.Errorf("candidate %s lacks prefix ab", got.Short())
+	}
+	// Prefix nobody has.
+	if _, ok := ring.ClosestWithPrefix(id.MustParse("ff000000000000000000000000000000"), 2, nil); ok {
+		t.Error("found member with prefix ff")
+	}
+	// Zero prefix = plain closest.
+	got, ok = ring.ClosestWithPrefix(id.MustParse("ac010000000000000000000000000000"), 0, nil)
+	if !ok || got != members[2] {
+		t.Errorf("prefix-0 closest = %s", got.Short())
+	}
+}
+
+func TestRingClosestWithPrefixMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(300, r)
+	ring := mustRing(t, ids)
+	for trial := 0; trial < 200; trial++ {
+		target := id.Random(r)
+		plen := r.IntN(4)
+		got, ok := ring.ClosestWithPrefix(target, plen, nil)
+		// Brute force.
+		var want id.ID
+		found := false
+		for _, x := range ids {
+			if id.CommonPrefixLen(x, target) < plen {
+				continue
+			}
+			if !found || id.Closer(x, want, target) {
+				want, found = x, true
+			}
+		}
+		if ok != found || (found && got != want) {
+			t.Fatalf("trial %d: ClosestWithPrefix(%s, %d) = %s,%v want %s,%v",
+				trial, target.Short(), plen, got.Short(), ok, want.Short(), found)
+		}
+	}
+}
+
+func TestRingNeighbors(t *testing.T) {
+	t.Parallel()
+	members := []id.ID{
+		id.MustParse("10000000000000000000000000000000"),
+		id.MustParse("20000000000000000000000000000000"),
+		id.MustParse("30000000000000000000000000000000"),
+		id.MustParse("40000000000000000000000000000000"),
+	}
+	ring := mustRing(t, members)
+	cw := ring.NeighborsClockwise(members[0], 2)
+	if len(cw) != 2 || cw[0] != members[1] || cw[1] != members[2] {
+		t.Errorf("cw = %v", cw)
+	}
+	ccw := ring.NeighborsCounterClockwise(members[0], 2)
+	if len(ccw) != 2 || ccw[0] != members[3] || ccw[1] != members[2] {
+		t.Errorf("ccw = %v", ccw)
+	}
+	// Asking for more than exist caps at size-1.
+	all := ring.NeighborsClockwise(members[0], 10)
+	if len(all) != 3 {
+		t.Errorf("len = %d, want 3", len(all))
+	}
+	// Non-member start.
+	cw = ring.NeighborsClockwise(id.MustParse("25000000000000000000000000000000"), 1)
+	if len(cw) != 1 || cw[0] != members[2] {
+		t.Errorf("non-member cw = %v", cw)
+	}
+}
+
+func TestRingWithout(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(50, r)
+	ring := mustRing(t, ids)
+	excluded := map[id.ID]bool{ids[0]: true, ids[1]: true}
+	sub, err := ring.Without(excluded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 48 {
+		t.Errorf("Size = %d", sub.Size())
+	}
+	if sub.Contains(ids[0]) {
+		t.Error("excluded member still present")
+	}
+	all := map[id.ID]bool{}
+	for _, x := range ids {
+		all[x] = true
+	}
+	if _, err := ring.Without(all); err == nil {
+		t.Error("empty remainder accepted")
+	}
+}
+
+func TestLeafSetInsertOrderIndependent(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	owner := id.Random(r)
+	peers := randomIDs(100, r)
+
+	ls1, err := NewLeafSet(owner, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		ls1.Insert(p)
+	}
+	// Reverse order.
+	ls2, err := NewLeafSet(owner, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(peers) - 1; i >= 0; i-- {
+		ls2.Insert(peers[i])
+	}
+	m1 := map[id.ID]bool{}
+	for _, x := range ls1.All() {
+		m1[x] = true
+	}
+	for _, x := range ls2.All() {
+		if !m1[x] {
+			t.Fatalf("leaf sets differ by insertion order: %s", x.Short())
+		}
+	}
+	if ls1.Len() != 16 || ls2.Len() != 16 {
+		t.Errorf("lens = %d, %d, want 16", ls1.Len(), ls2.Len())
+	}
+}
+
+func TestLeafSetKeepsClosest(t *testing.T) {
+	t.Parallel()
+	owner := id.MustParse("80000000000000000000000000000000")
+	ls, err := NewLeafSet(owner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := id.MustParse("90000000000000000000000000000000")
+	mid := id.MustParse("84000000000000000000000000000000")
+	near := id.MustParse("80000000000000000000000000000001")
+	if !ls.Insert(far) || !ls.Insert(mid) {
+		t.Fatal("initial inserts rejected")
+	}
+	// near displaces far.
+	if !ls.Insert(near) {
+		t.Fatal("closer peer rejected")
+	}
+	if ls.containsSide(ls.cw, far) {
+		t.Error("farthest leaf not displaced")
+	}
+	// Duplicates and owner rejected.
+	if ls.Insert(near) {
+		t.Error("duplicate accepted")
+	}
+	if ls.Insert(owner) {
+		t.Error("owner accepted")
+	}
+	// Remove works.
+	if !ls.Remove(near) {
+		t.Error("Remove failed")
+	}
+	if ls.Remove(near) {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestLeafSetCoversAndClosest(t *testing.T) {
+	t.Parallel()
+	owner := id.MustParse("80000000000000000000000000000000")
+	ls, err := NewLeafSet(owner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw1 := id.MustParse("81000000000000000000000000000000")
+	cw2 := id.MustParse("82000000000000000000000000000000")
+	ccw1 := id.MustParse("7f000000000000000000000000000000")
+	ccw2 := id.MustParse("7e000000000000000000000000000000")
+	for _, p := range []id.ID{cw1, cw2, ccw1, ccw2} {
+		ls.Insert(p)
+	}
+	if !ls.Covers(id.MustParse("80800000000000000000000000000000")) {
+		t.Error("interior point not covered")
+	}
+	if !ls.Covers(owner) {
+		t.Error("owner not covered")
+	}
+	if ls.Covers(id.MustParse("90000000000000000000000000000000")) {
+		t.Error("exterior point covered")
+	}
+	got, ok := ls.Closest(id.MustParse("81100000000000000000000000000000"))
+	if !ok || got != cw1 {
+		t.Errorf("Closest = %s, want %s", got.Short(), cw1.Short())
+	}
+	got, ok = ls.Closest(id.MustParse("80000000000000000000000000000001"))
+	if !ok || got != owner {
+		t.Errorf("Closest = %s, want owner", got.Short())
+	}
+}
+
+func TestLeafSetEstimateN(t *testing.T) {
+	t.Parallel()
+	// With N uniformly random members, the leaf-spacing estimator should
+	// land near N on average (§3.1 cites Mahajan's estimator).
+	r := testRand()
+	const n = 2000
+	ids := randomIDs(n, r)
+	ring := mustRing(t, ids)
+	var sum float64
+	const samples = 50
+	for i := 0; i < samples; i++ {
+		owner := ids[r.IntN(len(ids))]
+		ls, err := BuildLeafSet(owner, ring, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := ls.EstimateN()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / samples
+	if mean < n/2 || mean > n*2 {
+		t.Errorf("population estimate %v, want within 2x of %d", mean, n)
+	}
+}
+
+func TestLeafSetErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := NewLeafSet(id.Zero, 0); err == nil {
+		t.Error("zero perSide accepted")
+	}
+	ls, err := NewLeafSet(id.Zero, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.MeanSpacing(); err == nil {
+		t.Error("empty mean spacing accepted")
+	}
+	if _, err := ls.EstimateN(); err == nil {
+		t.Error("empty estimate accepted")
+	}
+}
+
+func TestJumpTableSetSlotAndValidate(t *testing.T) {
+	t.Parallel()
+	owner := id.MustParse("00000000000000000000000000000000")
+	tbl := NewJumpTable(owner)
+	// Peer sharing no prefix, first digit a: row 0, col 0xa.
+	peer := id.MustParse("a0000000000000000000000000000000")
+	if err := tbl.Set(peer); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Slot(0, 0xa)
+	if !ok || got != peer {
+		t.Errorf("Slot(0,a) = %s, %v", got.Short(), ok)
+	}
+	if tbl.Occupancy() != 1 {
+		t.Errorf("Occupancy = %d", tbl.Occupancy())
+	}
+	// Peer sharing 3 digits with next digit 5: row 3, col 5.
+	deep := id.MustParse("00050000000000000000000000000000")
+	if err := tbl.Set(deep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Slot(3, 5); !ok {
+		t.Error("deep slot not filled")
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	// Owner can't occupy its own table.
+	if err := tbl.Set(owner); err == nil {
+		t.Error("owner accepted into table")
+	}
+	// Replacement keeps occupancy.
+	peer2 := id.MustParse("a1000000000000000000000000000000")
+	if err := tbl.Set(peer2); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Occupancy() != 2 {
+		t.Errorf("Occupancy after replace = %d", tbl.Occupancy())
+	}
+	// Clear.
+	if err := tbl.Clear(0, 0xa); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Occupancy() != 1 {
+		t.Errorf("Occupancy after clear = %d", tbl.Occupancy())
+	}
+	if err := tbl.Clear(99, 0); err == nil {
+		t.Error("out-of-range clear accepted")
+	}
+	// Density.
+	if d := tbl.Density(); d != 1.0/float64(id.Digits*id.Base) {
+		t.Errorf("Density = %v", d)
+	}
+}
+
+func TestJumpTableNextHop(t *testing.T) {
+	t.Parallel()
+	owner := id.MustParse("00000000000000000000000000000000")
+	tbl := NewJumpTable(owner)
+	peer := id.MustParse("ab000000000000000000000000000000")
+	if err := tbl.Set(peer); err != nil {
+		t.Fatal(err)
+	}
+	hop, ok := tbl.NextHop(id.MustParse("acdef00000000000000000000000000f"))
+	if !ok || hop != peer {
+		t.Errorf("NextHop = %s, %v; want %s", hop.Short(), ok, peer.Short())
+	}
+	if _, ok := tbl.NextHop(id.MustParse("bb000000000000000000000000000000")); ok {
+		t.Error("empty slot returned a hop")
+	}
+	if _, ok := tbl.NextHop(owner); ok {
+		t.Error("NextHop(owner) returned a hop")
+	}
+}
+
+func TestBuildSecureTableConstraints(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(500, r)
+	ring := mustRing(t, ids)
+	owner := ids[0]
+	tbl, err := BuildSecureTable(owner, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("secure table invalid: %v", err)
+	}
+	// Every filled slot must hold the ring-closest qualifying node to
+	// the slot's target point — the secure-routing constraint.
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			got, ok := tbl.Slot(row, col)
+			if !ok {
+				continue
+			}
+			target := owner.WithDigit(row, col)
+			want, found := ring.ClosestWithPrefix(target, row+1, map[id.ID]bool{owner: true})
+			if !found || got != want {
+				t.Fatalf("slot (%d,%d) = %s, want %s", row, col, got.Short(), want.Short())
+			}
+		}
+	}
+	// Row 0 should be nearly full with 500 nodes.
+	var row0 int
+	for col := byte(0); col < id.Base; col++ {
+		if _, ok := tbl.Slot(0, col); ok {
+			row0++
+		}
+	}
+	if row0 < 14 {
+		t.Errorf("row 0 occupancy = %d, want ~15", row0)
+	}
+}
+
+func TestBuildStandardTableConstraints(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(500, r)
+	ring := mustRing(t, ids)
+	owner := ids[0]
+	tbl, err := BuildStandardTable(owner, ring, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("standard table invalid: %v", err)
+	}
+	if tbl.Occupancy() == 0 {
+		t.Error("standard table empty")
+	}
+}
+
+func TestBuildRoutingStateAndPeers(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(200, r)
+	ring := mustRing(t, ids)
+	rs, err := BuildRoutingState(ids[0], ring, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := rs.RoutingPeers()
+	if len(peers) == 0 {
+		t.Fatal("no routing peers")
+	}
+	seen := map[id.ID]bool{}
+	for _, p := range peers {
+		if p == ids[0] {
+			t.Error("self in routing peers")
+		}
+		if seen[p] {
+			t.Errorf("duplicate peer %s", p.Short())
+		}
+		seen[p] = true
+	}
+	if _, err := BuildRoutingState(id.Random(r), ring, r); err == nil {
+		t.Error("non-member routing state accepted")
+	}
+}
+
+func TestRouteSecureConverges(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(300, r)
+	ring := mustRing(t, ids)
+	states := make(map[id.ID]*RoutingState, len(ids))
+	for _, x := range ids {
+		rs, err := BuildRoutingState(x, ring, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[x] = rs
+	}
+	for trial := 0; trial < 100; trial++ {
+		src := ids[r.IntN(len(ids))]
+		dst := ids[r.IntN(len(ids))]
+		route, err := RouteSecure(states, src, dst, 0)
+		if err != nil {
+			t.Fatalf("route %s -> %s: %v", src.Short(), dst.Short(), err)
+		}
+		if route[0] != src {
+			t.Fatal("route does not start at src")
+		}
+		if route[len(route)-1] != dst {
+			t.Fatalf("route to a live member ended at %s, not %s",
+				route[len(route)-1].Short(), dst.Short())
+		}
+		// Hop count should be logarithmic-ish: generous bound.
+		if len(route) > 10 {
+			t.Errorf("route length %d suspiciously long", len(route))
+		}
+	}
+}
+
+func TestRouteSecureToNonMemberKey(t *testing.T) {
+	t.Parallel()
+	// Routing toward an arbitrary key (DHT insertion) must terminate at
+	// the member numerically closest to the key.
+	r := testRand()
+	ids := randomIDs(300, r)
+	ring := mustRing(t, ids)
+	states := make(map[id.ID]*RoutingState, len(ids))
+	for _, x := range ids {
+		rs, err := BuildRoutingState(x, ring, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[x] = rs
+	}
+	for trial := 0; trial < 50; trial++ {
+		src := ids[r.IntN(len(ids))]
+		key := id.Random(r)
+		route, err := RouteSecure(states, src, key, 0)
+		if err != nil {
+			t.Fatalf("route to key: %v", err)
+		}
+		terminus := route[len(route)-1]
+		want, _ := ring.Closest(key, nil)
+		if terminus != want {
+			t.Fatalf("key %s routed to %s, closest is %s",
+				key.Short(), terminus.Short(), want.Short())
+		}
+	}
+}
+
+func TestRouteStandardConverges(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ids := randomIDs(300, r)
+	ring := mustRing(t, ids)
+	states := make(map[id.ID]*RoutingState, len(ids))
+	for _, x := range ids {
+		rs, err := BuildRoutingState(x, ring, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[x] = rs
+	}
+	for trial := 0; trial < 60; trial++ {
+		src := ids[r.IntN(len(ids))]
+		dst := ids[r.IntN(len(ids))]
+		route, err := RouteStandard(states, src, dst, 0)
+		if err != nil {
+			t.Fatalf("standard route %s -> %s: %v", src.Short(), dst.Short(), err)
+		}
+		if route[len(route)-1] != dst {
+			t.Fatalf("standard route ended at %s, want %s",
+				route[len(route)-1].Short(), dst.Short())
+		}
+	}
+}
+
+func TestStandardAndSecureDisagreeSometimes(t *testing.T) {
+	t.Parallel()
+	// The standard table picks freely among prefix-qualifying peers, so
+	// across many nodes the two tables should not be identical — if they
+	// were, the "standard" table would not be exercising its freedom.
+	r := testRand()
+	ids := randomIDs(400, r)
+	ring := mustRing(t, ids)
+	var differs bool
+	for i := 0; i < 20 && !differs; i++ {
+		rs, err := BuildRoutingState(ids[i], ring, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !secureTablesEqual(rs.Secure, rs.Standard) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("standard tables identical to secure tables across 20 nodes")
+	}
+}
+
+// Property: the leaf set holds exactly the perSide ring-nearest members
+// on each side, for random populations (brute-force comparison).
+func TestPropLeafSetMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.IntN(60)
+		perSide := 1 + r.IntN(6)
+		ids := randomIDs(n, r)
+		owner := ids[0]
+		ls, err := NewLeafSet(owner, perSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ids[1:] {
+			ls.Insert(p)
+		}
+		// Brute force: sort others by clockwise and counterclockwise
+		// distance from the owner.
+		others := append([]id.ID(nil), ids[1:]...)
+		sort.Slice(others, func(i, j int) bool {
+			return id.Spacing(owner, others[i]) < id.Spacing(owner, others[j])
+		})
+		wantCW := append([]id.ID(nil), others[:minInt(perSide, len(others))]...)
+		sort.Slice(others, func(i, j int) bool {
+			return id.Spacing(others[i], owner) < id.Spacing(others[j], owner)
+		})
+		wantCCW := append([]id.ID(nil), others[:minInt(perSide, len(others))]...)
+
+		want := map[id.ID]bool{}
+		for _, x := range wantCW {
+			want[x] = true
+		}
+		for _, x := range wantCCW {
+			want[x] = true
+		}
+		got := map[id.ID]bool{}
+		for _, x := range ls.All() {
+			got[x] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: leaf set size %d, brute force %d", trial, len(got), len(want))
+		}
+		for x := range want {
+			if !got[x] {
+				t.Fatalf("trial %d: nearest member %s missing from leaf set", trial, x.Short())
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: Closest with a skip set matches brute force over random
+// rings — the search that secure-table refills depend on.
+func TestPropRingClosestWithSkipMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.IntN(50)
+		ids := randomIDs(n, r)
+		ring := mustRing(t, ids)
+		target := id.Random(r)
+		skip := map[id.ID]bool{}
+		for _, x := range ids {
+			if r.IntN(3) == 0 {
+				skip[x] = true
+			}
+		}
+		got, ok := ring.Closest(target, skip)
+		var want id.ID
+		found := false
+		for _, x := range ids {
+			if skip[x] {
+				continue
+			}
+			if !found || id.Closer(x, want, target) {
+				want, found = x, true
+			}
+		}
+		if ok != found || (found && got != want) {
+			t.Fatalf("trial %d (n=%d, skipped=%d): Closest = %s,%v want %s,%v",
+				trial, n, len(skip), got.Short(), ok, want.Short(), found)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package overlay implements the structured peer-to-peer substrate
+// Concilium runs on: a Pastry-style overlay with leaf sets and jump
+// tables, plus the secure-routing variant of Castro et al. (§2) in which
+// each jump-table slot is constrained to the live host closest to that
+// slot's target point. The package is pure data structure and routing
+// logic; signing, validation, and fault attribution live in
+// internal/core.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"concilium/internal/id"
+)
+
+// Ring is the sorted global membership view used to construct correct
+// routing state and to answer "who is the closest live host to point p"
+// queries. Experiments build it from the certificate authority's
+// assignments; a malicious host's *advertised* state can then be compared
+// against what the ring says it should be.
+type Ring struct {
+	ids   []id.ID
+	index map[id.ID]int
+}
+
+// NewRing builds a ring over the given members. Duplicates are rejected.
+func NewRing(members []id.ID) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("overlay: ring needs at least one member")
+	}
+	ids := make([]id.ID, len(members))
+	copy(ids, members)
+	sort.Slice(ids, func(i, j int) bool { return id.Less(ids[i], ids[j]) })
+	index := make(map[id.ID]int, len(ids))
+	for i, x := range ids {
+		if _, dup := index[x]; dup {
+			return nil, fmt.Errorf("overlay: duplicate member %s", x)
+		}
+		index[x] = i
+	}
+	return &Ring{ids: ids, index: index}, nil
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int { return len(r.ids) }
+
+// Members returns the members in ascending identifier order. The slice
+// is shared and must not be modified.
+func (r *Ring) Members() []id.ID { return r.ids }
+
+// Contains reports membership.
+func (r *Ring) Contains(x id.ID) bool {
+	_, ok := r.index[x]
+	return ok
+}
+
+// Without returns a new ring excluding the given members — the view an
+// adversary presents under a suppression attack, or the system after
+// departures. It fails if nothing remains.
+func (r *Ring) Without(excluded map[id.ID]bool) (*Ring, error) {
+	kept := make([]id.ID, 0, len(r.ids))
+	for _, x := range r.ids {
+		if !excluded[x] {
+			kept = append(kept, x)
+		}
+	}
+	return NewRing(kept)
+}
+
+// searchGE returns the index of the first member >= x, possibly len(ids).
+func (r *Ring) searchGE(x id.ID) int {
+	return sort.Search(len(r.ids), func(i int) bool {
+		return id.Cmp(r.ids[i], x) >= 0
+	})
+}
+
+// Closest returns the member with minimal ring distance to target,
+// excluding any members in skip (which may be nil). The boolean is false
+// if every member was skipped.
+func (r *Ring) Closest(target id.ID, skip map[id.ID]bool) (id.ID, bool) {
+	n := len(r.ids)
+	pos := r.searchGE(target) % n
+	best, found := id.ID{}, false
+	// Walk outward from the insertion point in both directions. The
+	// closest non-skipped member is within len(skip)+1 steps of pos on
+	// one side or the other.
+	limit := n
+	for step := 0; step < limit; step++ {
+		for _, cand := range []id.ID{
+			r.ids[((pos+step)%n+n)%n],
+			r.ids[((pos-1-step)%n+n)%n],
+		} {
+			if skip[cand] {
+				continue
+			}
+			if !found || id.Closer(cand, best, target) {
+				best, found = cand, true
+			}
+		}
+		if found && step > len(skip) {
+			break
+		}
+	}
+	return best, found
+}
+
+// prefixRange returns the numeric bounds [lo, hi] of identifiers sharing
+// the first prefixLen digits of base.
+func prefixRange(base id.ID, prefixLen int) (lo, hi id.ID) {
+	lo, hi = base, base
+	for i := prefixLen; i < id.Digits; i++ {
+		lo = lo.WithDigit(i, 0)
+		hi = hi.WithDigit(i, id.Base-1)
+	}
+	return lo, hi
+}
+
+// ClosestWithPrefix returns the member closest to target among those
+// sharing target's first prefixLen digits, excluding members in skip.
+// Identifiers with a common prefix form a contiguous arc, so this is two
+// binary searches plus a boundary comparison.
+func (r *Ring) ClosestWithPrefix(target id.ID, prefixLen int, skip map[id.ID]bool) (id.ID, bool) {
+	if prefixLen <= 0 {
+		return r.Closest(target, skip)
+	}
+	if prefixLen > id.Digits {
+		prefixLen = id.Digits
+	}
+	lo, hi := prefixRange(target, prefixLen)
+	start := r.searchGE(lo)
+	end := r.searchGE(hi) // members in [start, end] ∪ {end if == hi}
+	if end < len(r.ids) && r.ids[end] != hi {
+		end--
+	}
+	if end >= len(r.ids) {
+		end = len(r.ids) - 1
+	}
+	best, found := id.ID{}, false
+	for i := start; i <= end && i < len(r.ids); i++ {
+		cand := r.ids[i]
+		if skip[cand] {
+			continue
+		}
+		if !found || id.Closer(cand, best, target) {
+			best, found = cand, true
+		}
+	}
+	return best, found
+}
+
+// NeighborsClockwise returns up to k members following x on the ring
+// (ascending with wraparound), excluding x itself.
+func (r *Ring) NeighborsClockwise(x id.ID, k int) []id.ID {
+	return r.neighbors(x, k, +1)
+}
+
+// NeighborsCounterClockwise returns up to k members preceding x.
+func (r *Ring) NeighborsCounterClockwise(x id.ID, k int) []id.ID {
+	return r.neighbors(x, k, -1)
+}
+
+func (r *Ring) neighbors(x id.ID, k, dir int) []id.ID {
+	n := len(r.ids)
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	var pos int
+	if at, ok := r.index[x]; ok {
+		pos = at
+	} else {
+		// x is not a member: start from the insertion point.
+		pos = r.searchGE(x)
+		if dir > 0 {
+			pos-- // first clockwise neighbor is ids[pos] itself
+		}
+	}
+	out := make([]id.ID, 0, k)
+	for i := 1; len(out) < k; i++ {
+		cand := r.ids[((pos+dir*i)%n+n)%n]
+		if cand == x {
+			break // wrapped all the way around
+		}
+		out = append(out, cand)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package reputation is the Credence-style vote system Concilium falls
+// back on when a peer refuses to issue forwarding commitments (§3.6): no
+// tomographic evidence exists for that misbehavior, so honest hosts cast
+// signed votes of no confidence, and peers aggregate the votes of hosts
+// they trust. It deliberately cannot replace the accusation protocol —
+// votes carry no evidence and propagate no further than one hop of
+// trust — which is exactly the contrast the paper draws.
+package reputation
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/sigcrypto"
+)
+
+// ErrBadVoteSignature indicates a vote that fails verification.
+var ErrBadVoteSignature = errors.New("reputation: vote signature invalid")
+
+// Vote is one signed statement of no confidence in Subject.
+type Vote struct {
+	Voter     id.ID
+	Subject   id.ID
+	At        netsim.Time
+	Signature []byte
+}
+
+func votePayload(voter, subject id.ID, at netsim.Time) []byte {
+	buf := make([]byte, 0, 4+2*id.Bytes+8)
+	buf = append(buf, "vote"...)
+	buf = append(buf, voter[:]...)
+	buf = append(buf, subject[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(at))
+	return buf
+}
+
+// NewVote signs a no-confidence vote.
+func NewVote(kp sigcrypto.KeyPair, voter, subject id.ID, at netsim.Time) Vote {
+	return Vote{
+		Voter:     voter,
+		Subject:   subject,
+		At:        at,
+		Signature: kp.Sign(votePayload(voter, subject, at)),
+	}
+}
+
+// Verify checks the vote under the voter's key.
+func (v *Vote) Verify(pub ed25519.PublicKey) error {
+	if !sigcrypto.Verify(pub, votePayload(v.Voter, v.Subject, v.At), v.Signature) {
+		return ErrBadVoteSignature
+	}
+	return nil
+}
+
+// Board collects votes. One vote per (voter, subject) is retained — the
+// most recent.
+type Board struct {
+	bySubject map[id.ID]map[id.ID]Vote
+}
+
+// NewBoard creates an empty board.
+func NewBoard() *Board {
+	return &Board{bySubject: make(map[id.ID]map[id.ID]Vote)}
+}
+
+// Record stores a verified vote. Older duplicate votes are replaced.
+func (b *Board) Record(v Vote, voterPub ed25519.PublicKey) error {
+	if err := v.Verify(voterPub); err != nil {
+		return err
+	}
+	if v.Voter == v.Subject {
+		return fmt.Errorf("reputation: self-vote from %s", v.Voter.Short())
+	}
+	m := b.bySubject[v.Subject]
+	if m == nil {
+		m = make(map[id.ID]Vote)
+		b.bySubject[v.Subject] = m
+	}
+	if prev, ok := m[v.Voter]; ok && prev.At >= v.At {
+		return nil
+	}
+	m[v.Voter] = v
+	return nil
+}
+
+// NoConfidence returns how many hosts the evaluator trusts have voted
+// against subject. Honest hosts trust each other's votes (§3.6), so
+// trusted is typically "not formally accused and not locally suspected".
+func (b *Board) NoConfidence(subject id.ID, trusted func(id.ID) bool) int {
+	var n int
+	for voter := range b.bySubject[subject] {
+		if trusted == nil || trusted(voter) {
+			n++
+		}
+	}
+	return n
+}
+
+// PoorPeer applies a simple sanctioning policy: subject is a poor peer
+// once at least quorum trusted hosts have voted against it.
+func (b *Board) PoorPeer(subject id.ID, trusted func(id.ID) bool, quorum int) bool {
+	if quorum <= 0 {
+		quorum = 1
+	}
+	return b.NoConfidence(subject, trusted) >= quorum
+}

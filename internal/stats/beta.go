@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Beta is a Beta(Alpha, Beta) distribution on [0, 1]. The simulator uses
+// Beta(0.9, 0.6) to pick the depth of the IP link that fails along a
+// randomly chosen overlay path, biasing failures toward the edge of the
+// network as the paper's methodology specifies (§4.2).
+type Beta struct {
+	Alpha float64
+	Beta  float64
+}
+
+// NewBeta validates the shape parameters.
+func NewBeta(alpha, beta float64) (Beta, error) {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return Beta{}, fmt.Errorf("stats: beta alpha %v must be positive", alpha)
+	}
+	if beta <= 0 || math.IsNaN(beta) || math.IsInf(beta, 0) {
+		return Beta{}, fmt.Errorf("stats: beta beta %v must be positive", beta)
+	}
+	return Beta{Alpha: alpha, Beta: beta}, nil
+}
+
+// Mean returns α / (α + β).
+func (b Beta) Mean() float64 { return b.Alpha / (b.Alpha + b.Beta) }
+
+// Variance returns αβ / ((α+β)²(α+β+1)).
+func (b Beta) Variance() float64 {
+	s := b.Alpha + b.Beta
+	return b.Alpha * b.Beta / (s * s * (s + 1))
+}
+
+// Sample draws one Beta variate as X/(X+Y) with X ~ Gamma(α), Y ~ Gamma(β).
+func (b Beta) Sample(r Rand) float64 {
+	x := sampleGamma(r, b.Alpha)
+	y := sampleGamma(r, b.Beta)
+	if x+y == 0 {
+		// Vanishingly rare underflow with small shapes; resolve to the mean.
+		return b.Mean()
+	}
+	return x / (x + y)
+}
+
+// sampleGamma draws from Gamma(shape, 1) using Marsaglia & Tsang's
+// squeeze method, with the standard U^{1/shape} boost for shape < 1.
+func sampleGamma(r Rand, shape float64) float64 {
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return sampleGamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	std := Normal{Mu: 0, Sigma: 1}
+	for {
+		x := std.Sample(r)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

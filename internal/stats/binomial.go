@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial is a binomial distribution with N trials and success
+// probability P. Concilium's accusation window is binomial: each of the
+// last w verdicts is guilty independently with probability p_good or
+// p_faulty, and formal-accusation error rates are its tails (§4.3).
+type Binomial struct {
+	N int
+	P float64
+}
+
+// NewBinomial validates the parameters.
+func NewBinomial(n int, p float64) (Binomial, error) {
+	if n < 0 {
+		return Binomial{}, fmt.Errorf("stats: binomial trials %d negative", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return Binomial{}, fmt.Errorf("stats: binomial probability %v out of [0,1]", p)
+	}
+	return Binomial{N: n, P: p}, nil
+}
+
+// logChoose returns log C(n, k) via log-gamma, stable for large n.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(n-k) + 1)
+	return ln1 - lk - lnk
+}
+
+// PMF returns Pr(X == k).
+func (b Binomial) PMF(k int) float64 {
+	if k < 0 || k > b.N {
+		return 0
+	}
+	switch b.P {
+	case 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case 1:
+		if k == b.N {
+			return 1
+		}
+		return 0
+	}
+	lp := logChoose(b.N, k) +
+		float64(k)*math.Log(b.P) +
+		float64(b.N-k)*math.Log(1-b.P)
+	return math.Exp(lp)
+}
+
+// UpperTail returns Pr(X >= m): the paper's false-positive expression
+// Σ_{k=m}^{w} C(w,k) p^k (1−p)^{w−k}.
+func (b Binomial) UpperTail(m int) float64 {
+	if m <= 0 {
+		return 1
+	}
+	if m > b.N {
+		return 0
+	}
+	var s float64
+	for k := m; k <= b.N; k++ {
+		s += b.PMF(k)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// LowerTail returns Pr(X < m): the paper's false-negative expression
+// Σ_{k=0}^{m−1} C(w,k) p^k (1−p)^{w−k}.
+func (b Binomial) LowerTail(m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if m > b.N {
+		return 1
+	}
+	var s float64
+	for k := 0; k < m; k++ {
+		s += b.PMF(k)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Sample draws one binomial variate by direct simulation. The window
+// sizes involved (w = 100) make O(N) sampling plenty fast.
+func (b Binomial) Sample(r Rand) int {
+	var k int
+	for i := 0; i < b.N; i++ {
+		if r.Float64() < b.P {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov returns the one-sample KS statistic: the maximum
+// absolute gap between the sample's empirical CDF and the reference
+// CDF. The occupancy experiments use it to quantify how well the
+// paper's normal approximation fits simulated jump-table occupancy
+// (Figure 1's claim), instead of eyeballing means.
+func KolmogorovSmirnov(sample []float64, cdf func(float64) float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, fmt.Errorf("stats: KS statistic of empty sample")
+	}
+	if cdf == nil {
+		return 0, fmt.Errorf("stats: KS statistic needs a reference CDF")
+	}
+	xs := make([]float64, len(sample))
+	copy(xs, sample)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var d float64
+	for i, x := range xs {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return 0, fmt.Errorf("stats: reference CDF returned %v at %v", f, x)
+		}
+		// Compare against the empirical CDF just before and at x.
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if gap := math.Abs(f - lo); gap > d {
+			d = gap
+		}
+		if gap := math.Abs(f - hi); gap > d {
+			d = gap
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the approximate critical D for the one-sample
+// KS test at the given significance level (alpha in {0.10, 0.05, 0.01})
+// and sample size n, using the standard asymptotic c(α)/√n form.
+func KSCriticalValue(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: KS critical value needs positive n")
+	}
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.224
+	case 0.05:
+		c = 1.358
+	case 0.01:
+		c = 1.628
+	default:
+		return 0, fmt.Errorf("stats: unsupported KS significance %v (use 0.10, 0.05, or 0.01)", alpha)
+	}
+	return c / math.Sqrt(float64(n)), nil
+}

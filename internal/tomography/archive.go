@@ -1,0 +1,89 @@
+package tomography
+
+import (
+	"fmt"
+	"sort"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/topology"
+)
+
+// ProbeRecord is one archived link observation: which host probed, when,
+// and the probed status (the paper's p.l_up bit).
+type ProbeRecord struct {
+	Prober id.ID
+	At     netsim.Time
+	Up     bool
+}
+
+// Archive stores disseminated probe results indexed by link. Every node
+// archives the snapshots it receives (§3.2) and queries them by time
+// window when computing blame (§3.4). Records for each link must be
+// added in non-decreasing time order (simulation time is monotone),
+// which keeps window queries logarithmic.
+type Archive struct {
+	byLink map[topology.LinkID][]ProbeRecord
+}
+
+// NewArchive creates an empty archive.
+func NewArchive() *Archive {
+	return &Archive{byLink: make(map[topology.LinkID][]ProbeRecord)}
+}
+
+// Record archives one prober's observations taken at time at.
+func (a *Archive) Record(prober id.ID, at netsim.Time, obs []LinkObservation) error {
+	for _, o := range obs {
+		recs := a.byLink[o.Link]
+		if len(recs) > 0 && recs[len(recs)-1].At > at {
+			return fmt.Errorf("tomography: out-of-order record for link %d (%v after %v)",
+				o.Link, at, recs[len(recs)-1].At)
+		}
+		a.byLink[o.Link] = append(recs, ProbeRecord{Prober: prober, At: at, Up: o.Up})
+	}
+	return nil
+}
+
+// InWindow returns the probe records for link within [from, to],
+// excluding records from probers in exclude — the rule that a node's own
+// probes never count when judging that node (§3.4).
+func (a *Archive) InWindow(link topology.LinkID, from, to netsim.Time, exclude map[id.ID]bool) []ProbeRecord {
+	recs := a.byLink[link]
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].At >= from })
+	hi := sort.Search(len(recs), func(i int) bool { return recs[i].At > to })
+	var out []ProbeRecord
+	for _, r := range recs[lo:hi] {
+		if exclude[r.Prober] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Prune discards records older than before, bounding archive growth over
+// long simulations.
+func (a *Archive) Prune(before netsim.Time) {
+	for link, recs := range a.byLink {
+		cut := sort.Search(len(recs), func(i int) bool { return recs[i].At >= before })
+		if cut == 0 {
+			continue
+		}
+		if cut == len(recs) {
+			delete(a.byLink, link)
+			continue
+		}
+		kept := make([]ProbeRecord, len(recs)-cut)
+		copy(kept, recs[cut:])
+		a.byLink[link] = kept
+	}
+}
+
+// Size returns the total number of archived records.
+func (a *Archive) Size() int {
+	var n int
+	for _, recs := range a.byLink {
+		n += len(recs)
+	}
+	return n
+}

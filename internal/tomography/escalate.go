@@ -1,0 +1,119 @@
+package tomography
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/stats"
+)
+
+// §3.2's two-tier probing: lightweight availability probes run
+// continuously; when they detect link loss — or when application-level
+// messages stop being acknowledged — the host initiates heavyweight
+// striped probing and asks its routing peers to do the same, so
+// fine-grained tomographic data exists for the whole forest during the
+// suspected fault period. Each peer waits a small random delay before
+// starting, to avoid probe-induced congestion.
+
+// EscalationConfig tunes the heavyweight escalation.
+type EscalationConfig struct {
+	// Heavyweight parameterizes each participant's measurement.
+	Heavyweight HeavyweightConfig
+	// MaxPeerDelay bounds the random stagger before a peer starts.
+	MaxPeerDelay time.Duration
+}
+
+// DefaultEscalationConfig staggers peers across ten seconds.
+func DefaultEscalationConfig() EscalationConfig {
+	return EscalationConfig{
+		Heavyweight:  DefaultHeavyweightConfig(),
+		MaxPeerDelay: 10 * time.Second,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c EscalationConfig) Validate() error {
+	if err := c.Heavyweight.Validate(); err != nil {
+		return err
+	}
+	if c.MaxPeerDelay < 0 {
+		return fmt.Errorf("tomography: MaxPeerDelay %v negative", c.MaxPeerDelay)
+	}
+	return nil
+}
+
+// ShouldEscalate applies the lightweight trigger: escalate when any
+// leaf went unacknowledged (after retries), which covers both genuinely
+// offline peers and lossy links — heavyweight probing disambiguates.
+func ShouldEscalate(res LightweightResult) bool {
+	for _, acked := range res.Acked {
+		if !acked {
+			return true
+		}
+	}
+	return false
+}
+
+// Escalate schedules heavyweight measurements for the triggering host
+// and each of its forest peers on the simulator: the trigger starts
+// immediately, peers after independent uniform delays in
+// [0, MaxPeerDelay]. onResult receives each completed estimate (on the
+// simulator goroutine); a measurement error aborts delivery of further
+// results and is reported through onError.
+func Escalate(
+	sim *netsim.Simulator,
+	trigger id.ID,
+	probers map[id.ID]*Prober,
+	cfg EscalationConfig,
+	rng stats.Rand,
+	onResult func(id.ID, *LossEstimate),
+	onError func(id.ID, error),
+) error {
+	if sim == nil {
+		return fmt.Errorf("tomography: nil simulator")
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if onResult == nil {
+		return fmt.Errorf("tomography: nil result callback")
+	}
+	if _, ok := probers[trigger]; !ok {
+		return fmt.Errorf("tomography: trigger %s has no prober", trigger.Short())
+	}
+	run := func(who id.ID) func() {
+		p := probers[who]
+		return func() {
+			est, err := p.HeavyweightProbe(cfg.Heavyweight)
+			if err != nil {
+				if onError != nil {
+					onError(who, err)
+				}
+				return
+			}
+			onResult(who, est)
+		}
+	}
+	if err := sim.ScheduleAfter(0, run(trigger)); err != nil {
+		return err
+	}
+	// Iterate peers in identifier order so delay assignment is
+	// deterministic for a seeded rng.
+	peers := make([]id.ID, 0, len(probers))
+	for who := range probers {
+		if who != trigger {
+			peers = append(peers, who)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return id.Less(peers[i], peers[j]) })
+	for _, who := range peers {
+		delay := time.Duration(rng.Float64() * float64(cfg.MaxPeerDelay))
+		if err := sim.ScheduleAfter(delay, run(who)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

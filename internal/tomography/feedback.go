@@ -1,0 +1,108 @@
+package tomography
+
+import (
+	"fmt"
+	"math"
+
+	"concilium/internal/id"
+)
+
+// Feedback verification (§3.3, after Arya et al.): leaves can lie about
+// probe receipt in two ways. Acknowledging probes that were actually
+// lost is defeated by nonces — a leaf cannot echo a nonce it never saw,
+// so the protocol layer simply discards acks with wrong nonces.
+// Suppressing acknowledgments for received probes is subtler: it is
+// detected statistically, because a leaf that drops acks in any pattern
+// correlated with its siblings' outcomes produces ancestor-probability
+// estimates that are impossible (A > 1, or A below the leaf's own
+// marginal), while honest loss cannot.
+
+// FeedbackConfig tunes the suppression detector.
+type FeedbackConfig struct {
+	// Slack absorbs binomial sampling noise in the per-pair ancestor
+	// estimates; pairs outside [max(Pi,Pj)-Slack, 1+Slack] are anomalous.
+	Slack float64
+	// MinPairs is the minimum number of informative pairs a leaf must
+	// appear in before it can be flagged.
+	MinPairs int
+	// FlagFraction is the fraction of a leaf's pairs that must be
+	// anomalous to flag it.
+	FlagFraction float64
+}
+
+// DefaultFeedbackConfig returns detector settings that keep honest
+// false positives rare at 100-stripe measurements.
+func DefaultFeedbackConfig() FeedbackConfig {
+	return FeedbackConfig{Slack: 0.12, MinPairs: 2, FlagFraction: 0.5}
+}
+
+// Validate reports the first invalid field.
+func (c FeedbackConfig) Validate() error {
+	switch {
+	case c.Slack < 0 || math.IsNaN(c.Slack):
+		return fmt.Errorf("tomography: Slack %v negative", c.Slack)
+	case c.MinPairs < 1:
+		return fmt.Errorf("tomography: MinPairs %d must be at least 1", c.MinPairs)
+	case c.FlagFraction <= 0 || c.FlagFraction > 1:
+		return fmt.Errorf("tomography: FlagFraction %v out of (0,1]", c.FlagFraction)
+	}
+	return nil
+}
+
+// SuspiciousLeaf reports a leaf whose acknowledgment pattern is
+// inconsistent with its siblings'.
+type SuspiciousLeaf struct {
+	Node id.ID
+	// AnomalousPairs / TotalPairs summarize the evidence.
+	AnomalousPairs int
+	TotalPairs     int
+}
+
+// VerifyFeedback applies the consistency test to a completed
+// heavyweight measurement and returns the leaves whose reported
+// acknowledgment patterns are statistically impossible under honest
+// behavior.
+func VerifyFeedback(est *LossEstimate, cfg FeedbackConfig) ([]SuspiciousLeaf, error) {
+	if est == nil {
+		return nil, fmt.Errorf("tomography: nil estimate")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(est.Marginals)
+	anom := make([]int, n)
+	total := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a := est.pairA[i][j]
+			if a < 0 {
+				continue // no data for this pair
+			}
+			total[i]++
+			total[j]++
+			lowBound := math.Max(est.Marginals[i], est.Marginals[j]) - cfg.Slack
+			if a > 1+cfg.Slack || a < lowBound {
+				anom[i]++
+				anom[j]++
+			}
+		}
+	}
+	var out []SuspiciousLeaf
+	for i := 0; i < n; i++ {
+		if total[i] < cfg.MinPairs {
+			continue
+		}
+		if float64(anom[i]) >= cfg.FlagFraction*float64(total[i]) {
+			nodeID, err := est.LeafID(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SuspiciousLeaf{
+				Node:           nodeID,
+				AnomalousPairs: anom[i],
+				TotalPairs:     total[i],
+			})
+		}
+	}
+	return out, nil
+}

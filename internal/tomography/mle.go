@@ -1,0 +1,329 @@
+package tomography
+
+import (
+	"fmt"
+	"sort"
+
+	"concilium/internal/id"
+	"concilium/internal/topology"
+)
+
+// buildBranchTree reduces leaf paths to their branching structure: a
+// node per divergence or termination point, each carrying the physical
+// link segment back to its parent. The loss estimator works per segment,
+// because losses within an unbranched segment are not separable from
+// end-to-end observations (a standard tomography limit).
+func buildBranchTree(leaves []Leaf) (*branchTree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("tomography: branch tree needs leaves")
+	}
+	bt := &branchTree{leafOf: make([]int, len(leaves))}
+	all := make([]int, len(leaves))
+	for i := range all {
+		all[i] = i
+	}
+	var build func(group []int, start, parent int) error
+	build = func(group []int, start, parent int) error {
+		// Advance through links shared by every path in the group, until
+		// some path ends or the paths diverge.
+		pos := start
+		for {
+			diverged := false
+			terminated := false
+			var first topology.LinkID
+			for gi, li := range group {
+				path := leaves[li].Path
+				if len(path) == pos {
+					terminated = true
+					break
+				}
+				if len(path) < pos {
+					return fmt.Errorf("tomography: leaf %d path shorter than consumed prefix", li)
+				}
+				if gi == 0 {
+					first = path[pos]
+				} else if path[pos] != first {
+					diverged = true
+				}
+			}
+			if terminated || diverged {
+				break
+			}
+			pos++
+		}
+		seg := append([]topology.LinkID(nil), leaves[group[0]].Path[start:pos]...)
+		node := len(bt.parent)
+		bt.parent = append(bt.parent, parent)
+		bt.segLinks = append(bt.segLinks, seg)
+		bt.pathLoss = append(bt.pathLoss, len(seg))
+
+		children := make(map[topology.LinkID][]int)
+		var order []topology.LinkID
+		for _, li := range group {
+			path := leaves[li].Path
+			if len(path) == pos {
+				bt.leafOf[li] = node
+				continue
+			}
+			key := path[pos]
+			if _, seen := children[key]; !seen {
+				order = append(order, key)
+			}
+			children[key] = append(children[key], li)
+		}
+		for _, key := range order {
+			if err := build(children[key], pos, node); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(all, 0, -1); err != nil {
+		return nil, err
+	}
+	return bt, nil
+}
+
+// depths returns each node's depth (root = 0).
+func (bt *branchTree) depths() []int {
+	d := make([]int, len(bt.parent))
+	for i := range bt.parent {
+		if bt.parent[i] >= 0 {
+			d[i] = d[bt.parent[i]] + 1 // parents precede children by construction
+		}
+	}
+	return d
+}
+
+// lca returns the lowest common ancestor of nodes a and b.
+func (bt *branchTree) lca(a, b int, depth []int) int {
+	for depth[a] > depth[b] {
+		a = bt.parent[a]
+	}
+	for depth[b] > depth[a] {
+		b = bt.parent[b]
+	}
+	for a != b {
+		a, b = bt.parent[a], bt.parent[b]
+	}
+	return a
+}
+
+// measurement accumulates stripe outcomes.
+type measurement struct {
+	n          int
+	trials     []int
+	succ       []int
+	pairTrials [][]int
+	pairSucc   [][]int
+	stripes    int
+	packets    int
+}
+
+func newMeasurement(n int) *measurement {
+	m := &measurement{
+		n:          n,
+		trials:     make([]int, n),
+		succ:       make([]int, n),
+		pairTrials: make([][]int, n),
+		pairSucc:   make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		m.pairTrials[i] = make([]int, n)
+		m.pairSucc[i] = make([]int, n)
+	}
+	return m
+}
+
+func (m *measurement) record(i int, oki bool, j int, okj bool, isPair bool) {
+	m.stripes++
+	m.trials[i]++
+	if oki {
+		m.succ[i]++
+	}
+	if !isPair {
+		return
+	}
+	m.trials[j]++
+	if okj {
+		m.succ[j]++
+	}
+	m.pairTrials[i][j]++
+	m.pairTrials[j][i]++
+	if oki && okj {
+		m.pairSucc[i][j]++
+		m.pairSucc[j][i]++
+	}
+}
+
+// Segment is a run of physical links between branch points, with its
+// inferred loss rate. Loss inside a segment cannot be localized further
+// by end-to-end tomography, so all of a segment's links share its rate.
+type Segment struct {
+	Links []topology.LinkID
+	Loss  float64
+}
+
+// LossEstimate is the output of heavyweight probing: per-segment (and
+// thus per-link) loss rates plus per-leaf marginal delivery rates.
+type LossEstimate struct {
+	Tree      *Tree
+	Segments  []Segment
+	Marginals []float64 // per tree leaf: observed end-to-end delivery rate
+	Stripes   int
+	Packets   int
+
+	perLink map[topology.LinkID]float64
+	// pairA holds the per-pair ancestor estimates used by the feedback
+	// verifier: pairA[i][j] = P̂_i·P̂_j / P̂_ij for pairs with data.
+	pairA [][]float64
+}
+
+// LinkLoss returns the inferred loss rate of link l, if l was probed.
+func (e *LossEstimate) LinkLoss(l topology.LinkID) (float64, bool) {
+	v, ok := e.perLink[l]
+	return v, ok
+}
+
+// Observations converts the estimate into binary link statuses: a link
+// is reported down when its inferred loss rate exceeds threshold.
+func (e *LossEstimate) Observations(threshold float64) []LinkObservation {
+	links := make([]topology.LinkID, 0, len(e.perLink))
+	for l := range e.perLink {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	out := make([]LinkObservation, len(links))
+	for i, l := range links {
+		out[i] = LinkObservation{Link: l, Up: e.perLink[l] <= threshold}
+	}
+	return out
+}
+
+// inferLoss runs the MINC-style maximum-likelihood estimator: for each
+// internal branch node k, the probability A(k) that a stripe reaches k
+// satisfies A(k) = P̂_i·P̂_j / P̂_ij for any leaf pair meeting at k, and
+// segment success is A(k)/A(parent(k)).
+func inferLoss(tree *Tree, bt *branchTree, m *measurement) (*LossEstimate, error) {
+	n := m.n
+	marg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if m.trials[i] > 0 {
+			marg[i] = float64(m.succ[i]) / float64(m.trials[i])
+		}
+	}
+	depth := bt.depths()
+
+	// Accumulate A estimates per node from pairs meeting there.
+	sumA := make([]float64, len(bt.parent))
+	cntA := make([]int, len(bt.parent))
+	pairA := make([][]float64, n)
+	for i := range pairA {
+		pairA[i] = make([]float64, n)
+		for j := range pairA[i] {
+			pairA[i][j] = -1 // no data
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.pairTrials[i][j] == 0 || marg[i] <= 0 || marg[j] <= 0 {
+				continue // no joint information in this pair
+			}
+			// Continuity-correct a zero joint count: observing no joint
+			// successes despite healthy marginals is the strongest
+			// possible anomaly and must not be silently skipped.
+			succ := float64(m.pairSucc[i][j])
+			if succ == 0 {
+				succ = 0.5
+			}
+			pij := succ / float64(m.pairTrials[i][j])
+			a := marg[i] * marg[j] / pij
+			pairA[i][j], pairA[j][i] = a, a
+			if m.pairSucc[i][j] == 0 {
+				continue // anomaly only; too noisy for the A estimator
+			}
+			k := bt.lca(bt.leafOf[i], bt.leafOf[j], depth)
+			sumA[k] += a
+			cntA[k]++
+		}
+	}
+
+	// Resolve A per node: pair estimates where available; a leaf-only
+	// node falls back to its leaf marginal; anything else inherits its
+	// parent (no evidence of loss below the parent).
+	a := make([]float64, len(bt.parent))
+	leafAt := make(map[int][]int)
+	for li, node := range bt.leafOf {
+		leafAt[node] = append(leafAt[node], li)
+	}
+	for k := range bt.parent {
+		parentA := 1.0
+		if bt.parent[k] >= 0 {
+			parentA = a[bt.parent[k]]
+		}
+		switch {
+		case cntA[k] > 0:
+			a[k] = sumA[k] / float64(cntA[k])
+		case len(leafAt[k]) > 0:
+			var s float64
+			for _, li := range leafAt[k] {
+				s += marg[li]
+			}
+			a[k] = s / float64(len(leafAt[k]))
+		default:
+			a[k] = parentA
+		}
+		if a[k] > parentA {
+			a[k] = parentA // success probabilities cannot grow downstream
+		}
+		if a[k] < 0 {
+			a[k] = 0
+		}
+	}
+
+	est := &LossEstimate{
+		Tree:      tree,
+		Marginals: marg,
+		Stripes:   m.stripes,
+		Packets:   m.packets,
+		perLink:   make(map[topology.LinkID]float64),
+		pairA:     pairA,
+	}
+	for k := range bt.parent {
+		if len(bt.segLinks[k]) == 0 {
+			continue
+		}
+		parentA := 1.0
+		if bt.parent[k] >= 0 {
+			parentA = a[bt.parent[k]]
+		}
+		var loss float64
+		switch {
+		case parentA <= 0:
+			loss = 1
+		default:
+			s := a[k] / parentA
+			if s > 1 {
+				s = 1
+			}
+			if s < 0 {
+				s = 0
+			}
+			loss = 1 - s
+		}
+		seg := Segment{Links: bt.segLinks[k], Loss: loss}
+		est.Segments = append(est.Segments, seg)
+		for _, l := range seg.Links {
+			est.perLink[l] = loss
+		}
+	}
+	return est, nil
+}
+
+// LeafID returns the overlay identifier of leaf index i.
+func (e *LossEstimate) LeafID(i int) (id.ID, error) {
+	if i < 0 || i >= len(e.Tree.Leaves) {
+		return id.ID{}, fmt.Errorf("tomography: leaf index %d out of range", i)
+	}
+	return e.Tree.Leaves[i].Node, nil
+}

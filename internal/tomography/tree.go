@@ -1,0 +1,186 @@
+// Package tomography implements Concilium's collaborative network
+// measurement layer (§3.2–§3.3): the IP trees connecting each host to
+// its routing peers, lightweight and heavyweight striped unicast probing
+// in the style of Duffield et al., maximum-likelihood per-link loss
+// inference, signed tomographic snapshots, the shared probe archive that
+// blame calculations read, and the feedback-verification checks that
+// catch leaves lying about probe receipt.
+package tomography
+
+import (
+	"fmt"
+	"sort"
+
+	"concilium/internal/id"
+	"concilium/internal/topology"
+)
+
+// Leaf is one routing peer at the edge of a tomography tree, with the IP
+// link path from the tree's root to that peer's attachment router.
+type Leaf struct {
+	Node   id.ID
+	Router topology.RouterID
+	Path   []topology.LinkID
+}
+
+// Tree is T_H: the IP communication tree induced by host H's routing
+// peers. Its root is H's attachment router and its leaves are the peers.
+// Paths come from a single shortest-path tree, so they branch like a
+// physical multicast tree.
+type Tree struct {
+	Root       id.ID
+	RootRouter topology.RouterID
+	Leaves     []Leaf
+
+	links   []topology.LinkID
+	linkSet map[topology.LinkID]struct{}
+}
+
+// BuildTree derives T_H from the topology: one BFS from the root router,
+// then path extraction per peer. Peers whose router is unreachable are
+// skipped (they cannot be probed at all).
+func BuildTree(g *topology.Graph, root id.ID, rootRouter topology.RouterID, peers []Leaf) (*Tree, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tomography: nil graph")
+	}
+	bfs, err := g.BFS(rootRouter)
+	if err != nil {
+		return nil, fmt.Errorf("tomography: tree root: %w", err)
+	}
+	t := &Tree{
+		Root:       root,
+		RootRouter: rootRouter,
+		linkSet:    make(map[topology.LinkID]struct{}),
+	}
+	for _, p := range peers {
+		if !bfs.Reachable(p.Router) {
+			continue
+		}
+		path, err := bfs.PathTo(p.Router)
+		if err != nil {
+			return nil, fmt.Errorf("tomography: path to %s: %w", p.Node.Short(), err)
+		}
+		t.Leaves = append(t.Leaves, Leaf{Node: p.Node, Router: p.Router, Path: path})
+		for _, l := range path {
+			if _, seen := t.linkSet[l]; !seen {
+				t.linkSet[l] = struct{}{}
+				t.links = append(t.links, l)
+			}
+		}
+	}
+	sort.Slice(t.links, func(i, j int) bool { return t.links[i] < t.links[j] })
+	return t, nil
+}
+
+// Links returns the distinct IP links in the tree, ascending. The slice
+// is shared and must not be modified.
+func (t *Tree) Links() []topology.LinkID { return t.links }
+
+// Contains reports whether link l is part of the tree.
+func (t *Tree) Contains(l topology.LinkID) bool {
+	_, ok := t.linkSet[l]
+	return ok
+}
+
+// PathTo returns the root-to-peer link path for the given peer.
+func (t *Tree) PathTo(peer id.ID) ([]topology.LinkID, bool) {
+	for i := range t.Leaves {
+		if t.Leaves[i].Node == peer {
+			return t.Leaves[i].Path, true
+		}
+	}
+	return nil, false
+}
+
+// Forest is F_H: the union of H's own tree and the trees rooted at each
+// of H's routing peers (§3.2). Concilium's goal is to estimate link
+// quality across this forest.
+type Forest struct {
+	Own   *Tree
+	Peers []*Tree
+
+	links []topology.LinkID
+}
+
+// BuildForest unions the trees. Nil peer trees are skipped.
+func BuildForest(own *Tree, peerTrees []*Tree) (*Forest, error) {
+	if own == nil {
+		return nil, fmt.Errorf("tomography: forest needs the host's own tree")
+	}
+	f := &Forest{Own: own}
+	set := make(map[topology.LinkID]struct{}, len(own.links))
+	for _, l := range own.links {
+		set[l] = struct{}{}
+	}
+	for _, pt := range peerTrees {
+		if pt == nil {
+			continue
+		}
+		f.Peers = append(f.Peers, pt)
+		for _, l := range pt.links {
+			set[l] = struct{}{}
+		}
+	}
+	f.links = make([]topology.LinkID, 0, len(set))
+	for l := range set {
+		f.links = append(f.links, l)
+	}
+	sort.Slice(f.links, func(i, j int) bool { return f.links[i] < f.links[j] })
+	return f, nil
+}
+
+// Links returns the distinct links across the whole forest, ascending.
+func (f *Forest) Links() []topology.LinkID { return f.links }
+
+// CoverageWithTrees returns the fraction of forest links covered by the
+// host's own tree plus the first k peer trees — the quantity plotted in
+// the paper's Figure 4.
+func (f *Forest) CoverageWithTrees(k int) float64 {
+	if len(f.links) == 0 {
+		return 0
+	}
+	covered := make(map[topology.LinkID]struct{}, len(f.Own.links))
+	for _, l := range f.Own.links {
+		covered[l] = struct{}{}
+	}
+	if k > len(f.Peers) {
+		k = len(f.Peers)
+	}
+	for i := 0; i < k; i++ {
+		for _, l := range f.Peers[i].links {
+			covered[l] = struct{}{}
+		}
+	}
+	return float64(len(covered)) / float64(len(f.links))
+}
+
+// VouchingCounts returns, for each forest link, how many trees (own plus
+// the first k peer trees) contain it — the "hosts that can vouch for a
+// link" series of Figure 4.
+func (f *Forest) VouchingCounts(k int) map[topology.LinkID]int {
+	out := make(map[topology.LinkID]int, len(f.links))
+	for _, l := range f.Own.links {
+		out[l]++
+	}
+	if k > len(f.Peers) {
+		k = len(f.Peers)
+	}
+	for i := 0; i < k; i++ {
+		for _, l := range f.Peers[i].links {
+			out[l]++
+		}
+	}
+	return out
+}
+
+// branchTree is the logical branching structure of a Tree: the root,
+// branch routers where leaf paths diverge, and leaves. The MLE estimator
+// works on this reduced form.
+type branchTree struct {
+	// nodes[0] is the root. Each node is a router where >=2 leaf paths
+	// diverge, or a leaf endpoint.
+	parent   []int               // index into nodes; parent[0] == -1
+	pathLoss []int               // number of physical links between node and parent (unused by the estimator but kept for reporting)
+	leafOf   []int               // node index per tree leaf (aligned with Tree.Leaves)
+	segLinks [][]topology.LinkID // physical links between node and its parent
+}
