@@ -8,6 +8,7 @@ package concilium_test
 
 import (
 	"crypto/ed25519"
+	"fmt"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -23,64 +24,149 @@ import (
 
 func benchRand() *rand.Rand { return rand.New(rand.NewPCG(1001, 1003)) }
 
-// BenchmarkFig1Occupancy regenerates Figure 1: the analytic occupancy
-// model against Monte Carlo simulation across overlay sizes.
-func BenchmarkFig1Occupancy(b *testing.B) {
-	cfg := experiments.Fig1Config{Ns: []int{128, 512, 1131, 4096, 16384}, Trials: 100}
-	rng := benchRand()
-	b.ReportAllocs()
-	var worst float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig1(cfg, rng)
-		if err != nil {
-			b.Fatal(err)
-		}
-		worst = res.MaxMeanError()
+// benchWorkerCounts are the pool sizes the parallel-engine benchmarks
+// sweep. workers=1 doubles as the serial reference the speedup-x metric
+// is computed against.
+var benchWorkerCounts = []int{1, 4, 8}
+
+// speedupReporter derives the speedup-x metric across a workers sweep:
+// the workers=1 sub-benchmark records its per-op time, and every
+// sub-benchmark reports serial-time / own-time. Sub-benchmarks run in
+// declaration order, so the serial reference is always measured first.
+type speedupReporter struct{ serialNsPerOp float64 }
+
+func (s *speedupReporter) report(b *testing.B, workers int) {
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if perOp <= 0 {
+		return
 	}
-	b.ReportMetric(worst, "worst-gap-slots")
+	if workers == 1 {
+		s.serialNsPerOp = perOp
+	}
+	if s.serialNsPerOp > 0 {
+		b.ReportMetric(s.serialNsPerOp/perOp, "speedup-x")
+	}
 }
 
-// BenchmarkFig2DensityErrors regenerates Figure 2: density-test error
-// rates without suppression attacks.
-func BenchmarkFig2DensityErrors(b *testing.B) {
-	cfg := experiments.DefaultFig23Config(false)
-	b.ReportAllocs()
-	var res *experiments.Fig23Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiments.Fig23(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkFig1Occupancy regenerates Figure 1 — the analytic occupancy
+// model against Monte Carlo simulation across overlay sizes — at
+// several worker-pool sizes. The Monte Carlo trials dominate the cost
+// and fan out across the pool; outputs are identical for every count.
+func BenchmarkFig1Occupancy(b *testing.B) {
+	var speedup speedupReporter
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Fig1Config{Ns: []int{128, 512, 1131, 4096, 16384}, Trials: 100, Workers: workers}
+			rng := benchRand()
+			b.ReportAllocs()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig1(cfg, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = res.MaxMeanError()
+			}
+			speedup.report(b, workers)
+			b.ReportMetric(worst, "worst-gap-slots")
+		})
 	}
-	// c=30% anchor (paper: FP 8.5%, FN 14.8%).
-	for i, c := range cfg.Collusions {
-		if c == 0.30 {
-			b.ReportMetric(res.OptimalRates[i].FalsePositive, "fp-at-c30")
-			b.ReportMetric(res.OptimalRates[i].FalseNegative, "fn-at-c30")
-		}
+}
+
+// BenchmarkFig2DensityErrors regenerates Figure 2 — density-test error
+// rates without suppression attacks — at several worker-pool sizes. The
+// (collusion, γ) grid cells fan out across the pool.
+func BenchmarkFig2DensityErrors(b *testing.B) {
+	var speedup speedupReporter
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.DefaultFig23Config(false)
+			cfg.Workers = workers
+			b.ReportAllocs()
+			var res *experiments.Fig23Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.Fig23(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			speedup.report(b, workers)
+			// c=30% anchor (paper: FP 8.5%, FN 14.8%).
+			for i, c := range cfg.Collusions {
+				if c == 0.30 {
+					b.ReportMetric(res.OptimalRates[i].FalsePositive, "fp-at-c30")
+					b.ReportMetric(res.OptimalRates[i].FalseNegative, "fn-at-c30")
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkFig3Suppression regenerates Figure 3: the suppression-attack
 // variant.
 func BenchmarkFig3Suppression(b *testing.B) {
-	cfg := experiments.DefaultFig23Config(true)
-	b.ReportAllocs()
-	var res *experiments.Fig23Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiments.Fig23(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
+	var speedup speedupReporter
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.DefaultFig23Config(true)
+			cfg.Workers = workers
+			b.ReportAllocs()
+			var res *experiments.Fig23Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.Fig23(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			speedup.report(b, workers)
+			for i, c := range cfg.Collusions {
+				if c == 0.20 {
+					b.ReportMetric(res.OptimalRates[i].FalsePositive, "fp-at-c20")
+					b.ReportMetric(res.OptimalRates[i].FalseNegative, "fn-at-c20")
+				}
+			}
+		})
 	}
-	for i, c := range cfg.Collusions {
-		if c == 0.20 {
-			b.ReportMetric(res.OptimalRates[i].FalsePositive, "fp-at-c20")
-			b.ReportMetric(res.OptimalRates[i].FalseNegative, "fn-at-c20")
+}
+
+// BenchmarkVerifyCached measures the signature-verification LRU against
+// uncached Ed25519 verification on a repeated-verifier workload (the
+// protocol re-checks the same certificates and ack batches constantly).
+func BenchmarkVerifyCached(b *testing.B) {
+	var seed [32]byte
+	seed[0] = 42
+	kp := sigcrypto.KeyPairFromSeed(seed)
+	msg := []byte("steward commitment, re-verified on every audit")
+	sig := kp.Sign(msg)
+
+	b.Run("uncached", func(b *testing.B) {
+		sigcrypto.SetVerifyCacheCapacity(0)
+		defer func() {
+			sigcrypto.SetVerifyCacheCapacity(sigcrypto.DefaultVerifyCacheSize)
+			sigcrypto.ResetVerifyCache()
+		}()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !sigcrypto.Verify(kp.Public, msg, sig) {
+				b.Fatal("valid signature rejected")
+			}
 		}
-	}
+	})
+	b.Run("cached", func(b *testing.B) {
+		sigcrypto.SetVerifyCacheCapacity(sigcrypto.DefaultVerifyCacheSize)
+		sigcrypto.ResetVerifyCache()
+		defer sigcrypto.ResetVerifyCache()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !sigcrypto.Verify(kp.Public, msg, sig) {
+				b.Fatal("valid signature rejected")
+			}
+		}
+		hits, misses, _ := sigcrypto.VerifyCacheStats()
+		b.ReportMetric(float64(hits)/float64(max(hits+misses, 1)), "hit-rate")
+	})
 }
 
 func benchSystemConfig() core.SystemConfig {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	concilium-bench [-fig N] [-scale small|default|treelike|paper] [-seed N] [-format text|csv]
+//	concilium-bench [-fig N] [-scale small|default|treelike|paper] [-seed N] [-format text|csv] [-workers N]
 //
 // Figures: 1 (occupancy model), 2 (density errors), 3 (density errors
 // under suppression), 4 (forest coverage), 5 (blame PDFs + §4.3 rates),
@@ -38,6 +38,7 @@ func run(w io.Writer, args []string) error {
 	scale := fs.String("scale", "default", "topology scale: small, default, treelike, treelike-paper, or paper")
 	seed := fs.Uint64("seed", 42, "random seed")
 	format := fs.String("format", "text", "output format: text or csv")
+	workers := fs.Int("workers", 0, "worker pool size for parallel trials (0 = GOMAXPROCS); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +76,7 @@ func run(w io.Writer, args []string) error {
 	}
 	for _, f := range figs {
 		start := time.Now()
-		if err := runFig(w, render, f, topoCfg, overlayFrac, rng); err != nil {
+		if err := runFig(w, render, f, topoCfg, overlayFrac, *workers, rng); err != nil {
 			return fmt.Errorf("figure %d: %w", f, err)
 		}
 		if *format == "text" {
@@ -109,15 +110,18 @@ func scaleConfig(scale string) (topology.Config, float64, error) {
 	}
 }
 
-func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, overlayFrac float64, rng *rand.Rand) error {
+func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, overlayFrac float64, workers int, rng *rand.Rand) error {
 	sysCfg := core.DefaultSystemConfig()
 	sysCfg.Topology = topoCfg
 	sysCfg.OverlayFraction = overlayFrac
 	sysCfg.ArchiveRetention = 5 * time.Minute
+	sysCfg.Workers = workers
 
 	switch fig {
 	case 1:
-		res, err := experiments.Fig1(experiments.DefaultFig1Config(), rng)
+		cfg := experiments.DefaultFig1Config()
+		cfg.Workers = workers
+		res, err := experiments.Fig1(cfg, rng)
 		if err != nil {
 			return err
 		}
@@ -130,7 +134,9 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 
 	case 2, 3:
 		suppression := fig == 3
-		res, err := experiments.Fig23(experiments.DefaultFig23Config(suppression))
+		cfg := experiments.DefaultFig23Config(suppression)
+		cfg.Workers = workers
+		res, err := experiments.Fig23(cfg)
 		if err != nil {
 			return err
 		}
@@ -163,6 +169,8 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 			cfg := experiments.DefaultFig5Config(mal)
 			cfg.System.Topology = topoCfg
 			cfg.System.OverlayFraction = overlayFrac
+			cfg.System.Workers = workers
+			cfg.Workers = workers
 			res, err := experiments.Fig5(cfg, rng)
 			if err != nil {
 				return err
@@ -189,7 +197,9 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 			{"Figure 6a: w=100, faithful reporting (p_good=1.8%, p_faulty=93.8%)", 0.018, 0.938},
 			{"Figure 6b: w=100, 20% collusion (p_good=8.4%, p_faulty=71.3%)", 0.084, 0.713},
 		} {
-			res, err := experiments.Fig6(experiments.DefaultFig6Config(rates.pGood, rates.pFaulty))
+			cfg := experiments.DefaultFig6Config(rates.pGood, rates.pFaulty)
+			cfg.Workers = workers
+			res, err := experiments.Fig6(cfg)
 			if err != nil {
 				return err
 			}
@@ -212,6 +222,9 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 		cfg := experiments.DefaultCollusionSweepConfig()
 		cfg.Base.System.Topology = topoCfg
 		cfg.Base.System.OverlayFraction = overlayFrac
+		cfg.Base.System.Workers = workers
+		cfg.Base.Workers = workers
+		cfg.Workers = workers
 		res, err := experiments.CollusionSweep(cfg, rng)
 		if err != nil {
 			return err

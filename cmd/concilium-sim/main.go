@@ -35,6 +35,7 @@ func run(w io.Writer, args []string) error {
 	duration := fs.Duration("warmup", 5*time.Minute, "probing warmup before traffic")
 	scale := fs.String("scale", "small", "topology scale: small or default")
 	traceN := fs.Int("trace", 0, "print the last N protocol trace events")
+	workers := fs.Int("workers", 0, "worker pool size for parallel system construction (0 = GOMAXPROCS); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +53,7 @@ func run(w io.Writer, args []string) error {
 	}
 	cfg.MaliciousFraction = *malicious
 	cfg.ArchiveRetention = 5 * time.Minute
+	cfg.Workers = *workers
 
 	var ring *trace.Ring
 	counter := trace.NewCounter()

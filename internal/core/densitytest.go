@@ -10,8 +10,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"concilium/internal/id"
+	"concilium/internal/parexec"
 	"concilium/internal/stats"
 )
 
@@ -55,7 +57,9 @@ func (m OccupancyModel) FillProb(row, n int) float64 {
 }
 
 // Distribution returns the Poisson binomial over all ℓ·v slots for an
-// overlay of n nodes.
+// overlay of n nodes. Construction is memoized per (ℓ, v, n) — density
+// sweeps request the same few population sizes thousands of times — and
+// the returned distribution is shared and immutable.
 func (m OccupancyModel) Distribution(n int) (*stats.PoissonBinomial, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -63,6 +67,14 @@ func (m OccupancyModel) Distribution(n int) (*stats.PoissonBinomial, error) {
 	if n <= 1 {
 		return nil, fmt.Errorf("core: occupancy model needs n > 1, got %d", n)
 	}
+	return cachedDistribution(occKey{l: m.L, v: m.V, n: n}, func() (*stats.PoissonBinomial, error) {
+		return m.buildDistribution(n)
+	})
+}
+
+// buildDistribution constructs the distribution afresh, bypassing the
+// cache. Tests use it to assert cache-hit equivalence.
+func (m OccupancyModel) buildDistribution(n int) (*stats.PoissonBinomial, error) {
 	probs := make([]float64, 0, m.Slots())
 	for row := 0; row < m.L; row++ {
 		p := m.FillProb(row, n)
@@ -73,13 +85,22 @@ func (m OccupancyModel) Distribution(n int) (*stats.PoissonBinomial, error) {
 	return stats.NewPoissonBinomial(probs)
 }
 
-// NormalApprox returns the paper's φ(μφ, σφ) for an overlay of n nodes.
+// NormalApprox returns the paper's φ(μφ, σφ) for an overlay of n nodes,
+// memoized per (ℓ, v, n) alongside Distribution.
 func (m OccupancyModel) NormalApprox(n int) (stats.Normal, error) {
-	pb, err := m.Distribution(n)
-	if err != nil {
+	if err := m.Validate(); err != nil {
 		return stats.Normal{}, err
 	}
-	return pb.NormalApprox()
+	if n <= 1 {
+		return stats.Normal{}, fmt.Errorf("core: occupancy model needs n > 1, got %d", n)
+	}
+	return cachedNormal(occKey{l: m.L, v: m.V, n: n}, func() (stats.Normal, error) {
+		pb, err := m.Distribution(n)
+		if err != nil {
+			return stats.Normal{}, err
+		}
+		return pb.NormalApprox()
+	})
 }
 
 // ExpectedOccupancy returns μφ for an overlay of n nodes.
@@ -96,61 +117,93 @@ func (m OccupancyModel) ExpectedOccupancy(n int) (float64, error) {
 // random peers and counts how many distinct (row, col) slots the peers
 // could fill. It returns the sample mean and standard deviation.
 func (m OccupancyModel) MonteCarloOccupancy(n, trials int, rng stats.Rand) (mean, std float64, err error) {
-	if err := m.Validate(); err != nil {
+	if err := m.validateMonteCarlo(n, trials); err != nil {
 		return 0, 0, err
 	}
-	if m.L > id.Digits || m.V != id.Base {
-		return 0, 0, fmt.Errorf("core: Monte Carlo requires the native identifier space (ℓ<=%d, v=%d)", id.Digits, id.Base)
-	}
-	if n <= 1 || trials <= 0 {
-		return 0, 0, fmt.Errorf("core: Monte Carlo needs n > 1 and positive trials")
-	}
 	counts := make([]float64, trials)
-	var filled [][]bool
+	scratch := m.newScratch()
 	for t := 0; t < trials; t++ {
-		if filled == nil {
-			filled = make([][]bool, m.L)
-			for i := range filled {
-				filled[i] = make([]bool, m.V)
-			}
-		} else {
-			for i := range filled {
-				for j := range filled[i] {
-					filled[i][j] = false
-				}
-			}
-		}
-		owner := id.Random(rng)
-		var occ int
-		for k := 0; k < n-1; k++ {
-			peer := id.Random(rng)
-			cpl := id.CommonPrefixLen(owner, peer)
-			if cpl > m.L {
-				cpl = m.L
-			}
-			// Eq. 1's event for slot (i, j) is "some node exists with the
-			// i-digit shared prefix and j as its next digit". A peer with
-			// cpl shared digits therefore fills its divergence slot
-			// (cpl, peer digit) and the owner-digit column of every
-			// shallower row, exactly as the analytic model counts them.
-			for row := 0; row < cpl; row++ {
-				col := owner.Digit(row)
-				if !filled[row][col] {
-					filled[row][col] = true
-					occ++
-				}
-			}
-			if cpl < m.L {
-				col := peer.Digit(cpl)
-				if !filled[cpl][col] {
-					filled[cpl][col] = true
-					occ++
-				}
-			}
-		}
-		counts[t] = float64(occ)
+		counts[t] = m.monteCarloTrial(n, rng, scratch)
 	}
 	return stats.Mean(counts), stats.StdDev(counts), nil
+}
+
+// MonteCarloOccupancyStreams is the deterministic parallel variant: each
+// trial draws from its own PCG substream derived from seed and the trial
+// index, so the result is bit-identical for every worker count
+// (including workers=1). workers <= 0 selects GOMAXPROCS.
+func (m OccupancyModel) MonteCarloOccupancyStreams(n, trials, workers int, seed parexec.Seed) (mean, std float64, err error) {
+	if err := m.validateMonteCarlo(n, trials); err != nil {
+		return 0, 0, err
+	}
+	counts, err := parexec.MapTrials(workers, trials, seed, func(_ int, rng *rand.Rand) (float64, error) {
+		return m.monteCarloTrial(n, rng, m.newScratch()), nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return stats.Mean(counts), stats.StdDev(counts), nil
+}
+
+func (m OccupancyModel) validateMonteCarlo(n, trials int) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.L > id.Digits || m.V != id.Base {
+		return fmt.Errorf("core: Monte Carlo requires the native identifier space (ℓ<=%d, v=%d)", id.Digits, id.Base)
+	}
+	if n <= 1 || trials <= 0 {
+		return fmt.Errorf("core: Monte Carlo needs n > 1 and positive trials")
+	}
+	return nil
+}
+
+// newScratch allocates the per-trial slot matrix.
+func (m OccupancyModel) newScratch() [][]bool {
+	filled := make([][]bool, m.L)
+	for i := range filled {
+		filled[i] = make([]bool, m.V)
+	}
+	return filled
+}
+
+// monteCarloTrial draws one random table and counts occupied slots.
+// filled is caller-provided scratch and is reset here.
+func (m OccupancyModel) monteCarloTrial(n int, rng stats.Rand, filled [][]bool) float64 {
+	for i := range filled {
+		for j := range filled[i] {
+			filled[i][j] = false
+		}
+	}
+	owner := id.Random(rng)
+	var occ int
+	for k := 0; k < n-1; k++ {
+		peer := id.Random(rng)
+		cpl := id.CommonPrefixLen(owner, peer)
+		if cpl > m.L {
+			cpl = m.L
+		}
+		// Eq. 1's event for slot (i, j) is "some node exists with the
+		// i-digit shared prefix and j as its next digit". A peer with
+		// cpl shared digits therefore fills its divergence slot
+		// (cpl, peer digit) and the owner-digit column of every
+		// shallower row, exactly as the analytic model counts them.
+		for row := 0; row < cpl; row++ {
+			col := owner.Digit(row)
+			if !filled[row][col] {
+				filled[row][col] = true
+				occ++
+			}
+		}
+		if cpl < m.L {
+			col := peer.Digit(cpl)
+			if !filled[cpl][col] {
+				filled[cpl][col] = true
+				occ++
+			}
+		}
+	}
+	return float64(occ)
 }
 
 // DensityTest is the jump-table check of §3.1: a peer's advertised

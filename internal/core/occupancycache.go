@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+
+	"concilium/internal/stats"
+)
+
+// The density-test analytics rebuild the same Poisson-binomial
+// distribution thousands of times: one γ sweep evaluates
+// FalsePositiveRate/FalseNegativeRate at hundreds of γ values, and each
+// evaluation needs φ for the same handful of population sizes. Both the
+// distribution and its normal approximation are pure functions of
+// (ℓ, v, n), so they are memoized here behind process-wide,
+// concurrency-safe caches.
+//
+// Invalidation rules: there are none to apply. A cache entry is keyed by
+// every input that influences the value, and *stats.PoissonBinomial is
+// immutable after construction, so entries can never go stale — the
+// cache is dropped wholesale only to bound memory (see occCacheLimit)
+// or when tests call ResetOccupancyCaches.
+
+// occKey identifies one memoized occupancy computation.
+type occKey struct {
+	l, v, n int
+}
+
+// occCacheLimit bounds each cache map. Sweeps touch tens of distinct
+// population sizes, so the limit exists only to keep a pathological
+// caller (arbitrary n from untrusted input) from growing the maps
+// without bound; on overflow the map is simply rebuilt from empty,
+// since entries are cheap to recompute.
+const occCacheLimit = 4096
+
+var (
+	occMu     sync.RWMutex
+	distCache = make(map[occKey]*stats.PoissonBinomial)
+	normCache = make(map[occKey]stats.Normal)
+)
+
+// cachedDistribution returns the memoized Poisson binomial for key,
+// constructing it via build on a miss. The returned distribution is
+// shared across callers; it is safe because PoissonBinomial is
+// immutable.
+func cachedDistribution(key occKey, build func() (*stats.PoissonBinomial, error)) (*stats.PoissonBinomial, error) {
+	occMu.RLock()
+	pb, ok := distCache[key]
+	occMu.RUnlock()
+	if ok {
+		return pb, nil
+	}
+	pb, err := build()
+	if err != nil {
+		return nil, err
+	}
+	occMu.Lock()
+	if len(distCache) >= occCacheLimit {
+		distCache = make(map[occKey]*stats.PoissonBinomial)
+	}
+	// A racing goroutine may have stored the same key; keep the first
+	// entry so every caller shares one distribution.
+	if prior, ok := distCache[key]; ok {
+		pb = prior
+	} else {
+		distCache[key] = pb
+	}
+	occMu.Unlock()
+	return pb, nil
+}
+
+// cachedNormal memoizes the normal approximation the same way.
+func cachedNormal(key occKey, build func() (stats.Normal, error)) (stats.Normal, error) {
+	occMu.RLock()
+	n, ok := normCache[key]
+	occMu.RUnlock()
+	if ok {
+		return n, nil
+	}
+	n, err := build()
+	if err != nil {
+		return stats.Normal{}, err
+	}
+	occMu.Lock()
+	if len(normCache) >= occCacheLimit {
+		normCache = make(map[occKey]stats.Normal)
+	}
+	normCache[key] = n
+	occMu.Unlock()
+	return n, nil
+}
+
+// ResetOccupancyCaches drops every memoized distribution and normal
+// approximation. Benchmarks call it to measure cold-cache behaviour;
+// nothing else needs to.
+func ResetOccupancyCaches() {
+	occMu.Lock()
+	distCache = make(map[occKey]*stats.PoissonBinomial)
+	normCache = make(map[occKey]stats.Normal)
+	occMu.Unlock()
+}
+
+// occupancyCacheSizes reports entry counts, for tests.
+func occupancyCacheSizes() (dists, normals int) {
+	occMu.RLock()
+	defer occMu.RUnlock()
+	return len(distCache), len(normCache)
+}

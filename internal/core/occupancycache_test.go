@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDistributionCacheEquivalence pins the memoization contract: a
+// cached Distribution(n) must be indistinguishable from a fresh,
+// uncached construction, and repeated calls must share one value.
+func TestDistributionCacheEquivalence(t *testing.T) {
+	ResetOccupancyCaches()
+	t.Cleanup(ResetOccupancyCaches)
+	m := DefaultOccupancyModel()
+
+	for _, n := range []int{2, 64, 1131, 4096} {
+		cached, err := m.Distribution(n)
+		if err != nil {
+			t.Fatalf("Distribution(%d): %v", n, err)
+		}
+		fresh, err := m.buildDistribution(n)
+		if err != nil {
+			t.Fatalf("buildDistribution(%d): %v", n, err)
+		}
+		if !reflect.DeepEqual(cached, fresh) {
+			t.Errorf("cached Distribution(%d) differs from fresh construction", n)
+		}
+		if !reflect.DeepEqual(cached.ExactPMF(), fresh.ExactPMF()) {
+			t.Errorf("cached Distribution(%d) PMF differs from fresh construction", n)
+		}
+		again, err := m.Distribution(n)
+		if err != nil {
+			t.Fatalf("Distribution(%d) second call: %v", n, err)
+		}
+		if again != cached {
+			t.Errorf("Distribution(%d) did not return the shared cached value", n)
+		}
+	}
+	if dists, _ := occupancyCacheSizes(); dists != 4 {
+		t.Errorf("distribution cache holds %d entries, want 4", dists)
+	}
+}
+
+func TestNormalApproxCacheEquivalence(t *testing.T) {
+	ResetOccupancyCaches()
+	t.Cleanup(ResetOccupancyCaches)
+	m := DefaultOccupancyModel()
+
+	for _, n := range []int{16, 1131} {
+		cached, err := m.NormalApprox(n)
+		if err != nil {
+			t.Fatalf("NormalApprox(%d): %v", n, err)
+		}
+		fresh, err := m.buildDistribution(n)
+		if err != nil {
+			t.Fatalf("buildDistribution(%d): %v", n, err)
+		}
+		want, err := fresh.NormalApprox()
+		if err != nil {
+			t.Fatalf("fresh NormalApprox(%d): %v", n, err)
+		}
+		if cached != want {
+			t.Errorf("NormalApprox(%d) = %+v via cache, %+v fresh", n, cached, want)
+		}
+	}
+}
+
+// TestDistributionCacheDistinguishesModels guards the cache key: two
+// models with different table geometry must not share entries.
+func TestDistributionCacheDistinguishesModels(t *testing.T) {
+	ResetOccupancyCaches()
+	t.Cleanup(ResetOccupancyCaches)
+	a := OccupancyModel{L: 128, V: 16}
+	b := OccupancyModel{L: 64, V: 16}
+
+	da, err := a.Distribution(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Distribution(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.N() == db.N() {
+		t.Fatalf("models with different geometry returned same-size distributions (%d slots)", da.N())
+	}
+}
+
+// TestDistributionCacheConcurrent hammers the cache from many
+// goroutines; run under -race this checks the locking discipline, and
+// the pointer-equality check verifies racing fills converge on one
+// shared value per key.
+func TestDistributionCacheConcurrent(t *testing.T) {
+	ResetOccupancyCaches()
+	t.Cleanup(ResetOccupancyCaches)
+	m := DefaultOccupancyModel()
+	ns := []int{32, 64, 128, 256, 512}
+
+	const goroutines = 16
+	results := make([][]any, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, n := range ns {
+				pb, err := m.Distribution(n)
+				if err != nil {
+					t.Errorf("Distribution(%d): %v", n, err)
+					return
+				}
+				results[g] = append(results[g], pb)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range ns {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got a different cached pointer for n=%d", g, ns[i])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"concilium/internal/id"
 	"concilium/internal/netsim"
 	"concilium/internal/overlay"
+	"concilium/internal/parexec"
 	"concilium/internal/sigcrypto"
 	"concilium/internal/stats"
 	"concilium/internal/tomography"
@@ -49,6 +50,11 @@ type SystemConfig struct {
 	// Tracer receives structured protocol events (probes, verdicts,
 	// accusations, link churn). Nil disables tracing.
 	Tracer trace.Recorder
+	// Workers bounds the worker pool used for the parallelizable parts
+	// of system construction — per-node tomography-tree building, which
+	// consumes no randomness (<= 0 selects GOMAXPROCS). The built system
+	// is identical for every worker count.
+	Workers int
 }
 
 // DefaultSystemConfig returns a medium-scale deployment with the
@@ -203,21 +209,33 @@ func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 		s.Nodes[s.Order[i]].Behavior = Behavior{DropsMessages: true, InvertsProbes: true}
 	}
 
-	// Routing state and tomography trees.
+	// Routing state first, serially: it consumes the shared rng, and the
+	// draw order must not depend on scheduling.
 	for _, nid := range s.Order {
 		node := s.Nodes[nid]
 		node.Routing, err = overlay.BuildRoutingState(nid, s.Ring, rng)
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Tomography trees in parallel: BuildTree is a pure function of the
+	// immutable graph and each node's routing peers, so per-node trees
+	// fan out across workers with identical results at any worker count.
+	err = parexec.ForEach(cfg.Workers, len(s.Order), func(i int) error {
+		node := s.Nodes[s.Order[i]]
 		leaves := make([]tomography.Leaf, 0, 96)
 		for _, p := range node.Routing.RoutingPeers() {
 			leaves = append(leaves, tomography.Leaf{Node: p, Router: s.Nodes[p].Router})
 		}
-		node.Tree, err = tomography.BuildTree(graph, nid, node.Router, leaves)
+		tree, err := tomography.BuildTree(graph, s.Order[i], node.Router, leaves)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		node.Tree = tree
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	s.Engine, err = NewBlameEngine(s.Archive, cfg.Blame, WithRecordFilter(s.collusionFilter))

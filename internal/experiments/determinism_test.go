@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"concilium/internal/core"
+	"concilium/internal/topology"
+)
+
+// The parallel execution layer promises bit-identical results for any
+// worker count. These tests pin that promise: the same seed must give
+// byte-for-byte equal outputs at workers=1 and workers=8.
+
+func detRand() *rand.Rand { return rand.New(rand.NewPCG(4242, 2424)) }
+
+func TestFig1WorkerInvariance(t *testing.T) {
+	cfg := Fig1Config{Ns: []int{128, 512, 1131}, Trials: 60}
+
+	cfg.Workers = 1
+	serial, err := Fig1(cfg, detRand())
+	if err != nil {
+		t.Fatalf("Fig1 workers=1: %v", err)
+	}
+	cfg.Workers = 8
+	parallel, err := Fig1(cfg, detRand())
+	if err != nil {
+		t.Fatalf("Fig1 workers=8: %v", err)
+	}
+	if !reflect.DeepEqual(serial.Analytic, parallel.Analytic) {
+		t.Errorf("analytic series differ between worker counts:\n1: %+v\n8: %+v",
+			serial.Analytic, parallel.Analytic)
+	}
+	if !reflect.DeepEqual(serial.MonteCarlo, parallel.MonteCarlo) {
+		t.Errorf("monte carlo series differ between worker counts:\n1: %+v\n8: %+v",
+			serial.MonteCarlo, parallel.MonteCarlo)
+	}
+}
+
+func TestFig23WorkerInvariance(t *testing.T) {
+	base := DefaultFig23Config(true)
+	base.Collusions = base.Collusions[:4]
+	base.Gammas = base.Gammas[:25]
+
+	cfg := base
+	cfg.Workers = 1
+	serial, err := Fig23(cfg)
+	if err != nil {
+		t.Fatalf("Fig23 workers=1: %v", err)
+	}
+	cfg.Workers = 8
+	parallel, err := Fig23(cfg)
+	if err != nil {
+		t.Fatalf("Fig23 workers=8: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Fig23 results differ between worker counts:\n1: %+v\n8: %+v",
+			serial, parallel)
+	}
+}
+
+func TestFig5WorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	base := DefaultFig5Config(0.2)
+	base.System.Topology = topology.TestConfig()
+	base.System.OverlayFraction = 0.5
+	base.Duration = 30 * time.Minute
+	base.Warmup = 8 * time.Minute
+	base.SampleEvents = 12
+	base.TriplesPerEvent = 12
+
+	run := func(workers int) *Fig5Result {
+		t.Helper()
+		cfg := base
+		cfg.Workers = workers
+		cfg.System.Workers = workers
+		res, err := Fig5(cfg, detRand())
+		if err != nil {
+			t.Fatalf("Fig5 workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Fig5 results differ between worker counts:\n1: %+v\n8: %+v",
+			serial, parallel)
+	}
+}
+
+func TestBuildSystemWorkerInvariance(t *testing.T) {
+	build := func(workers int) *core.System {
+		t.Helper()
+		cfg := core.DefaultSystemConfig()
+		cfg.Topology = topology.TestConfig()
+		cfg.OverlayFraction = 0.5
+		cfg.Workers = workers
+		sys, err := core.BuildSystem(cfg, detRand())
+		if err != nil {
+			t.Fatalf("BuildSystem workers=%d: %v", workers, err)
+		}
+		return sys
+	}
+	serial, parallel := build(1), build(8)
+	if !reflect.DeepEqual(serial.Order, parallel.Order) {
+		t.Fatalf("node order differs between worker counts")
+	}
+	for _, nid := range serial.Order {
+		st, pt := serial.Nodes[nid].Tree, parallel.Nodes[nid].Tree
+		if !reflect.DeepEqual(st, pt) {
+			t.Fatalf("tomography tree for %v differs between worker counts", nid)
+		}
+	}
+}

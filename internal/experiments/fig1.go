@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"concilium/internal/core"
+	"concilium/internal/parexec"
 	"concilium/internal/stats"
 )
 
@@ -15,6 +16,10 @@ type Fig1Config struct {
 	Ns []int
 	// Trials is the number of Monte Carlo tables per size.
 	Trials int
+	// Workers bounds the Monte Carlo worker pool (<= 0 selects
+	// GOMAXPROCS). Results are bit-identical for every worker count:
+	// each trial draws from its own substream of the experiment seed.
+	Workers int
 }
 
 // DefaultFig1Config sweeps powers of two from 128 to 131072.
@@ -67,7 +72,11 @@ func Fig1(cfg Fig1Config, rng stats.Rand) (*Fig1Result, error) {
 		res.Analytic.Y = append(res.Analytic.Y, approx.Mu)
 		res.Analytic.YErr = append(res.Analytic.YErr, approx.Sigma)
 
-		mcMean, mcStd, err := model.MonteCarloOccupancy(n, cfg.Trials, rng)
+		// One root seed per size is drawn serially from the experiment
+		// rng; the per-trial substreams derived from it make the Monte
+		// Carlo independent of the worker count.
+		seed := parexec.SeedFrom(rng)
+		mcMean, mcStd, err := model.MonteCarloOccupancyStreams(n, cfg.Trials, cfg.Workers, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"concilium/internal/core"
+	"concilium/internal/parexec"
 )
 
 // Fig23Config parameterizes the density-test error experiments:
@@ -17,6 +18,10 @@ type Fig23Config struct {
 	Gammas []float64
 	// Suppression toggles the Figure 3 variant.
 	Suppression bool
+	// Workers bounds the worker pool evaluating the (c, γ) grid (<= 0
+	// selects GOMAXPROCS). Every cell is an independent analytic
+	// computation, so outputs are identical for every worker count.
+	Workers int
 }
 
 // DefaultFig23Config mirrors the paper's setup.
@@ -70,16 +75,36 @@ func Fig23(cfg Fig23Config) (*Fig23Result, error) {
 	}
 	model := core.DefaultOccupancyModel()
 	res := &Fig23Result{Optimal: Series{Name: "misclassification at optimal gamma"}}
-	for _, c := range cfg.Collusions {
-		scen := core.DensityScenario{N: cfg.N, Collusion: c, Suppression: cfg.Suppression}
+
+	// Evaluate the full (collusion, γ) grid in parallel — each cell is
+	// an independent analytic computation — then reduce serially in grid
+	// order so the assembled series and optimal-γ selection are
+	// identical for every worker count.
+	ng := len(cfg.Gammas)
+	cells := make([]core.DensityErrorRates, len(cfg.Collusions)*ng)
+	err := parexec.ForEach(cfg.Workers, len(cells), func(i int) error {
+		scen := core.DensityScenario{
+			N:           cfg.N,
+			Collusion:   cfg.Collusions[i/ng],
+			Suppression: cfg.Suppression,
+		}
+		rates, err := core.ErrorRatesAt(model, scen, cfg.Gammas[i%ng])
+		if err != nil {
+			return err
+		}
+		cells[i] = rates
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ci, c := range cfg.Collusions {
 		fpSeries := Series{Name: fmt.Sprintf("false positive c=%.2f", c)}
 		fnSeries := Series{Name: fmt.Sprintf("false negative c=%.2f", c)}
 		best := core.DensityErrorRates{FalsePositive: 1, FalseNegative: 1}
-		for _, g := range cfg.Gammas {
-			rates, err := core.ErrorRatesAt(model, scen, g)
-			if err != nil {
-				return nil, err
-			}
+		for gi, g := range cfg.Gammas {
+			rates := cells[ci*ng+gi]
 			fpSeries.X = append(fpSeries.X, g)
 			fpSeries.Y = append(fpSeries.Y, rates.FalsePositive)
 			fnSeries.X = append(fnSeries.X, g)

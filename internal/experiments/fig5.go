@@ -5,7 +5,10 @@ import (
 	"time"
 
 	"concilium/internal/core"
+	"concilium/internal/id"
+	"concilium/internal/parexec"
 	"concilium/internal/stats"
+	"concilium/internal/topology"
 )
 
 // Fig5Config parameterizes the blame-PDF simulation of §4.3: a Pastry
@@ -29,6 +32,11 @@ type Fig5Config struct {
 	TriplesPerEvent int
 	// Bins sizes the blame histograms.
 	Bins int
+	// Workers bounds the pool evaluating blame for each event's triples
+	// (<= 0 selects GOMAXPROCS). Triple selection stays serial on the
+	// experiment rng and blame evaluation consumes no randomness, so
+	// results are bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultFig5Config returns a medium-scale run with the paper's
@@ -137,6 +145,15 @@ func Fig5(cfg Fig5Config, rng stats.Rand) (*Fig5Result, error) {
 			if evalErr != nil {
 				return
 			}
+			// Phase 1 (serial): draw the event's triples from the
+			// experiment rng. Selection consumes the same random
+			// sequence regardless of worker count.
+			type triple struct {
+				b      id.ID
+				path   []topology.LinkID
+				faulty bool
+			}
+			var triples []triple
 			for i := 0; i < cfg.TriplesPerEvent; i++ {
 				a := sys.Order[rng.IntN(len(sys.Order))]
 				aPeers := sys.Nodes[a].Tree.Leaves
@@ -172,12 +189,28 @@ func Fig5(cfg Fig5Config, rng stats.Rand) (*Fig5Result, error) {
 				default:
 					continue
 				}
-				blame, err := sys.Engine.Blame(b, path, sys.Sim.Now())
+				triples = append(triples, triple{b: b, path: path, faulty: faulty})
+			}
+			// Phase 2 (parallel): blame evaluation reads only the frozen
+			// archive and network state — no randomness, no writes — so
+			// the triples fan out across workers.
+			now := sys.Sim.Now()
+			blames := make([]core.BlameResult, len(triples))
+			if err := parexec.ForEach(cfg.Workers, len(triples), func(i int) error {
+				blame, err := sys.Engine.Blame(triples[i].b, triples[i].path, now)
 				if err != nil {
-					evalErr = err
-					return
+					return err
 				}
-				if faulty {
+				blames[i] = blame
+				return nil
+			}); err != nil {
+				evalErr = err
+				return
+			}
+			// Phase 3 (serial): accumulate histograms in triple order.
+			for i, tr := range triples {
+				blame := blames[i]
+				if tr.faulty {
 					res.FaultyPDF.Add(blame.Blame)
 					res.FaultySamples++
 					if blame.Guilty {

@@ -5,6 +5,7 @@ import (
 
 	"concilium/internal/core"
 	"concilium/internal/netsim"
+	"concilium/internal/parexec"
 )
 
 // netsimTime aliases the simulator clock for the schedule helpers.
@@ -18,6 +19,9 @@ type Fig6Config struct {
 	MaxM    int
 	PGood   float64
 	PFaulty float64
+	// Workers bounds the pool evaluating the m sweep (<= 0 selects
+	// GOMAXPROCS); each m is an independent analytic computation.
+	Workers int
 }
 
 // DefaultFig6Config uses the paper's w=100 and sweeps m to 30.
@@ -58,11 +62,21 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 		FalsePositive: Series{Name: "formal accusation false positive"},
 		FalseNegative: Series{Name: "formal accusation false negative"},
 	}
-	for m := 1; m <= cfg.MaxM; m++ {
-		fp, fn, err := core.AccusationErrorRates(core.WindowConfig{W: cfg.W, M: m}, cfg.PGood, cfg.PFaulty)
+	fps := make([]float64, cfg.MaxM)
+	fns := make([]float64, cfg.MaxM)
+	err := parexec.ForEach(cfg.Workers, cfg.MaxM, func(i int) error {
+		fp, fn, err := core.AccusationErrorRates(core.WindowConfig{W: cfg.W, M: i + 1}, cfg.PGood, cfg.PFaulty)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		fps[i], fns[i] = fp, fn
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for m := 1; m <= cfg.MaxM; m++ {
+		fp, fn := fps[m-1], fns[m-1]
 		res.FalsePositive.X = append(res.FalsePositive.X, float64(m))
 		res.FalsePositive.Y = append(res.FalsePositive.Y, fp)
 		res.FalseNegative.X = append(res.FalseNegative.X, float64(m))

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"concilium/internal/core"
+	"concilium/internal/parexec"
 	"concilium/internal/stats"
 )
 
@@ -24,6 +25,11 @@ type CollusionSweepConfig struct {
 	Window int
 	// Target is the error bound for minimal m (the paper uses 1%).
 	Target float64
+	// Workers bounds the pool running sweep points concurrently (<= 0
+	// selects GOMAXPROCS). Each point runs its Figure 5 simulation on a
+	// substream derived from the sweep seed and the point index, so the
+	// sweep is bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultCollusionSweepConfig sweeps 0–40% at the medium scale.
@@ -87,22 +93,36 @@ func CollusionSweep(cfg CollusionSweepConfig, rng stats.Rand) (*CollusionSweepRe
 		PGood:  Series{Name: "p_good (innocent found guilty per drop)"},
 		PFault: Series{Name: "p_faulty (dropper found guilty per drop)"},
 	}
-	for _, f := range cfg.Fractions {
+	// Each sweep point is a full, independent Figure 5 simulation. One
+	// root seed is drawn from the caller's rng; point i then runs on
+	// substream i, so points can execute concurrently without sharing a
+	// random source.
+	seed := parexec.SeedFrom(rng)
+	points := make([]CollusionPoint, len(cfg.Fractions))
+	err := parexec.ForEach(cfg.Workers, len(cfg.Fractions), func(i int) error {
+		f := cfg.Fractions[i]
 		point := CollusionPoint{Fraction: f}
 		fig5 := cfg.Base
 		fig5.System.MaliciousFraction = f
-		r5, err := Fig5(fig5, rng)
+		r5, err := Fig5(fig5, seed.Stream(uint64(i)))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: sweep at c=%v: %w", f, err)
+			return fmt.Errorf("experiments: sweep at c=%v: %w", f, err)
 		}
 		point.PGood, point.PFaulty = r5.PGood, r5.PFaulty
 		if m, err := core.MinimalM(cfg.Window, point.PGood, point.PFaulty, cfg.Target); err == nil {
 			point.MinimalM = m
 		}
+		points[i] = point
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, point := range points {
 		res.Points = append(res.Points, point)
-		res.PGood.X = append(res.PGood.X, f)
+		res.PGood.X = append(res.PGood.X, cfg.Fractions[i])
 		res.PGood.Y = append(res.PGood.Y, point.PGood)
-		res.PFault.X = append(res.PFault.X, f)
+		res.PFault.X = append(res.PFault.X, cfg.Fractions[i])
 		res.PFault.Y = append(res.PFault.Y, point.PFaulty)
 	}
 	return res, nil

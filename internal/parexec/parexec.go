@@ -1,0 +1,150 @@
+// Package parexec is the deterministic parallel execution layer under
+// Concilium's experiment harness. Monte Carlo trials, density-grid
+// cells, and sweep points are embarrassingly parallel, but naive
+// parallelization over a shared random source makes results depend on
+// goroutine scheduling. This package removes that dependence with two
+// pieces:
+//
+//   - Seed: a root seed from which per-trial PCG substreams are derived
+//     as a pure function of (root, trial index). Trial i consumes the
+//     same random stream no matter which worker runs it, or how many
+//     workers exist — including workers=1 — so experiment outputs are
+//     bit-identical across worker counts.
+//
+//   - ForEach / MapTrials: a bounded worker pool over an index space.
+//     Work units write results into index-addressed slots; callers
+//     reduce those slots serially in index order, which keeps
+//     floating-point accumulation order fixed.
+//
+// The contract callers must uphold: a work unit may depend only on its
+// index (and the substream derived for it), never on execution order or
+// on state mutated by other units.
+package parexec
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Seed is a root seed for a family of independent random substreams.
+// The zero value is a valid (if unexciting) seed.
+type Seed struct {
+	Hi, Lo uint64
+}
+
+// NewSeed builds a seed from two words.
+func NewSeed(hi, lo uint64) Seed { return Seed{Hi: hi, Lo: lo} }
+
+// SeedFrom draws a root seed from an existing random source. Experiments
+// that already thread a seeded *rand.Rand call this once, serially, so
+// the derived substream family is itself a deterministic function of the
+// experiment seed.
+func SeedFrom(src interface{ Uint64() uint64 }) Seed {
+	return Seed{Hi: src.Uint64(), Lo: src.Uint64()}
+}
+
+// splitmix64 is the SplitMix64 finalizer — a bijective mixer used to
+// derive well-separated child seeds from (root, index) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sub derives the i-th child seed. Children are pure functions of
+// (receiver, i): nested structures (a sweep point that itself runs
+// trials) derive a child per point and stream per trial under it.
+func (s Seed) Sub(i uint64) Seed {
+	return Seed{
+		Hi: splitmix64(s.Hi ^ splitmix64(i)),
+		Lo: splitmix64(s.Lo ^ splitmix64(i^0xd1b54a32d192ed03)),
+	}
+}
+
+// Stream returns the i-th PCG substream. Streams for distinct indices
+// are statistically independent; the same (seed, i) always yields an
+// identical generator.
+func (s Seed) Stream(i uint64) *rand.Rand {
+	sub := s.Sub(i)
+	return rand.New(rand.NewPCG(sub.Hi, sub.Lo))
+}
+
+// Workers resolves a configured worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). Indices are claimed in
+// ascending order. Every index runs even when some fail, so the
+// returned error — the one with the lowest index — does not depend on
+// scheduling. With workers=1 (or n=1) fn runs inline on the caller's
+// goroutine.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapTrials runs trials independent work units, each on its own
+// substream derived from seed, and returns the results indexed by
+// trial. Because trial i's randomness comes only from seed.Stream(i),
+// the result slice is bit-identical for every worker count.
+func MapTrials[T any](workers, trials int, seed Seed, fn func(trial int, rng *rand.Rand) (T, error)) ([]T, error) {
+	out := make([]T, max(trials, 0))
+	err := ForEach(workers, trials, func(i int) error {
+		v, err := fn(i, seed.Stream(uint64(i)))
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package parexec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	t.Parallel()
+	seed := NewSeed(42, 43)
+	for trial := uint64(0); trial < 8; trial++ {
+		a, b := seed.Stream(trial), seed.Stream(trial)
+		for i := 0; i < 64; i++ {
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("trial %d draw %d: %x != %x", trial, i, x, y)
+			}
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	t.Parallel()
+	seed := NewSeed(7, 9)
+	// Distinct trials must not share a stream; distinct roots must not
+	// share trial 0; child seeds must not collide.
+	if seed.Stream(0).Uint64() == seed.Stream(1).Uint64() {
+		t.Error("trial 0 and 1 start identically")
+	}
+	if seed.Stream(0).Uint64() == NewSeed(7, 10).Stream(0).Uint64() {
+		t.Error("different roots share trial 0")
+	}
+	if seed.Sub(3) == seed.Sub(4) {
+		t.Error("child seeds collide")
+	}
+}
+
+func TestSeedFromIsDeterministic(t *testing.T) {
+	t.Parallel()
+	a := SeedFrom(rand.New(rand.NewPCG(5, 6)))
+	b := SeedFrom(rand.New(rand.NewPCG(5, 6)))
+	if a != b {
+		t.Errorf("same source, different seeds: %+v vs %+v", a, b)
+	}
+}
+
+// trialWork is a representative work unit: variable-length consumption
+// of the substream, so any cross-trial stream sharing would corrupt
+// results.
+func trialWork(trial int, rng *rand.Rand) (float64, error) {
+	var s float64
+	for i := 0; i <= trial%13; i++ {
+		s += rng.Float64()
+	}
+	return s, nil
+}
+
+func TestMapTrialsWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	seed := NewSeed(55, 77)
+	base, err := MapTrials(1, 150, seed, trialWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 150 {
+		t.Fatalf("len = %d", len(base))
+	}
+	for _, workers := range []int{2, 4, 9, 64} {
+		got, err := MapTrials(workers, 150, seed, trialWork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d differs from workers=1", workers)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 3, 8, 100} {
+		hit := make([]atomic.Int32, 57)
+		if err := ForEach(workers, 57, func(i int) error {
+			hit[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hit {
+			if got := hit[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(workers, 40, func(i int) error {
+			if i%7 == 5 { // fails at 5, 12, 19, ...
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 5 failed" {
+			t.Errorf("workers=%d: err = %v, want unit 5", workers, err)
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	t.Parallel()
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil || called {
+		t.Error("n=0 should be a no-op")
+	}
+	if err := ForEach(4, -3, func(int) error { called = true; return nil }); err != nil || called {
+		t.Error("n<0 should be a no-op")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	t.Parallel()
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("non-positive worker counts must resolve to >= 1")
+	}
+	if Workers(6) != 6 {
+		t.Error("explicit worker counts must pass through")
+	}
+}
+
+func TestMapTrialsPropagatesError(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("boom")
+	out, err := MapTrials(4, 10, NewSeed(1, 2), func(trial int, _ *rand.Rand) (int, error) {
+		if trial == 3 {
+			return 0, sentinel
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+	if out != nil {
+		t.Error("results must be nil on error")
+	}
+}

@@ -65,12 +65,25 @@ func (kp KeyPair) Sign(msg []byte) []byte {
 	return ed25519.Sign(kp.Private, msg)
 }
 
-// Verify checks sig over msg under pub.
+// Verify checks sig over msg under pub. Outcomes are memoized in a
+// bounded LRU keyed by (pub, msg-hash, sig), so repeated verification
+// of the same certificates, timestamps, and ack batches short-circuits
+// to a hash lookup; see verifycache.go for the cache contract.
 func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
 	if len(pub) != ed25519.PublicKeySize {
 		return false
 	}
-	return ed25519.Verify(pub, msg, sig)
+	cache := currentCache()
+	if cache == nil {
+		return ed25519.Verify(pub, msg, sig)
+	}
+	key := makeVerifyKey(pub, msg, sig)
+	if ok, hit := cache.lookup(key); hit {
+		return ok
+	}
+	ok := ed25519.Verify(pub, msg, sig)
+	cache.store(key, ok)
+	return ok
 }
 
 // Certificate binds a host's address, public key, and centrally assigned

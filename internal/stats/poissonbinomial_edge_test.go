@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for the Poisson binomial: empty input, degenerate
+// probability vectors, and single-trial distributions. These are the
+// boundaries the occupancy cache in internal/core leans on.
+
+func TestPoissonBinomialEmptyInput(t *testing.T) {
+	t.Parallel()
+	if _, err := NewPoissonBinomial(nil); err == nil {
+		t.Error("nil probability vector should be rejected")
+	}
+	if _, err := NewPoissonBinomial([]float64{}); err == nil {
+		t.Error("empty probability vector should be rejected")
+	}
+}
+
+func TestPoissonBinomialAllZero(t *testing.T) {
+	t.Parallel()
+	pb, err := NewPoissonBinomial([]float64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Mean(); got != 0 {
+		t.Errorf("mean = %v, want 0", got)
+	}
+	if got := pb.Variance(); got != 0 {
+		t.Errorf("variance = %v, want 0", got)
+	}
+	pmf := pb.ExactPMF()
+	if pmf[0] != 1 {
+		t.Errorf("P(0 successes) = %v, want 1", pmf[0])
+	}
+	for k := 1; k < len(pmf); k++ {
+		if pmf[k] != 0 {
+			t.Errorf("P(%d successes) = %v, want 0", k, pmf[k])
+		}
+	}
+	if _, err := pb.NormalApprox(); err == nil {
+		t.Error("zero-variance distribution should refuse a normal approximation")
+	}
+	if got := pb.Sample(constRand{}); got != 0 {
+		t.Errorf("sample = %d, want 0", got)
+	}
+}
+
+func TestPoissonBinomialAllOne(t *testing.T) {
+	t.Parallel()
+	pb, err := NewPoissonBinomial([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Mean(); got != 3 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+	if got := pb.Variance(); got != 0 {
+		t.Errorf("variance = %v, want 0", got)
+	}
+	pmf := pb.ExactPMF()
+	if pmf[3] != 1 {
+		t.Errorf("P(3 successes) = %v, want 1", pmf[3])
+	}
+	for k := 0; k < 3; k++ {
+		if pmf[k] != 0 {
+			t.Errorf("P(%d successes) = %v, want 0", k, pmf[k])
+		}
+	}
+	if _, err := pb.NormalApprox(); err == nil {
+		t.Error("zero-variance distribution should refuse a normal approximation")
+	}
+	if got := pb.Sample(constRand{}); got != 3 {
+		t.Errorf("sample = %d, want 3", got)
+	}
+}
+
+func TestPoissonBinomialSingleTrial(t *testing.T) {
+	t.Parallel()
+	const p = 0.3
+	pb, err := NewPoissonBinomial([]float64{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.N() != 1 {
+		t.Fatalf("N = %d, want 1", pb.N())
+	}
+	if got := pb.Mean(); got != p {
+		t.Errorf("mean = %v, want %v", got, p)
+	}
+	if got, want := pb.Variance(), p*(1-p); math.Abs(got-want) > 1e-15 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	pmf := pb.ExactPMF()
+	if len(pmf) != 2 {
+		t.Fatalf("pmf length = %d, want 2", len(pmf))
+	}
+	if math.Abs(pmf[0]-(1-p)) > 1e-15 || math.Abs(pmf[1]-p) > 1e-15 {
+		t.Errorf("pmf = %v, want [%v %v]", pmf, 1-p, p)
+	}
+	mu, sigma2 := pb.PaperMoments()
+	if mu != p || sigma2 != 0 {
+		t.Errorf("paper moments = (%v, %v), want (%v, 0)", mu, sigma2, p)
+	}
+}
+
+// constRand returns a fixed 0.5 for Float64 so samples of degenerate
+// distributions are exact: p=0 never fires, p=1 always does.
+type constRand struct{}
+
+func (constRand) Float64() float64 { return 0.5 }
+func (constRand) Uint64() uint64   { return 1 << 63 }
+func (constRand) IntN(n int) int   { return n / 2 }
