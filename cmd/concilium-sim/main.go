@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"concilium/internal/baseline"
+	"concilium/internal/chaos"
 	"concilium/internal/core"
 	"concilium/internal/id"
 	"concilium/internal/topology"
@@ -36,8 +37,14 @@ func run(w io.Writer, args []string) error {
 	scale := fs.String("scale", "small", "topology scale: small or default")
 	traceN := fs.Int("trace", 0, "print the last N protocol trace events")
 	workers := fs.Int("workers", 0, "worker pool size for parallel system construction (0 = GOMAXPROCS); results are identical for any value")
+	chaosMode := fs.Bool("chaos", false, "run the chaos-injection campaign instead of the baseline simulation")
+	chaosDuration := fs.String("duration", "short", "chaos campaign length: short or long")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaosMode {
+		return runChaos(w, *seed, *workers, *chaosDuration)
 	}
 
 	cfg := core.DefaultSystemConfig()
@@ -174,6 +181,32 @@ func run(w io.Writer, args []string) error {
 		for _, e := range ring.Events() {
 			fmt.Fprintln(w, " ", e)
 		}
+	}
+	return nil
+}
+
+// runChaos executes a seeded chaos campaign and prints its invariant
+// report. A violated invariant is a nonzero exit, so CI can gate on
+// the campaign directly.
+func runChaos(w io.Writer, seed uint64, workers int, duration string) error {
+	var cfg chaos.Config
+	switch duration {
+	case "short":
+		cfg = chaos.ShortConfig(seed)
+	case "long":
+		cfg = chaos.LongConfig(seed)
+	default:
+		return fmt.Errorf("unknown chaos duration %q (want short or long)", duration)
+	}
+	cfg.Workers = workers
+	fmt.Fprintf(w, "running %s chaos campaign (seed=%d)...\n", duration, seed)
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.String())
+	if !rep.Passed() {
+		return fmt.Errorf("chaos campaign violated invariants")
 	}
 	return nil
 }

@@ -59,3 +59,43 @@ func TestRunWithTrace(t *testing.T) {
 		t.Errorf("trace output missing:\n%s", out)
 	}
 }
+
+func TestRunChaosMode(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-chaos", "-seed", "1", "-duration", "short"})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"chaos campaign seed=1", "fault kinds:", "invariants:", "result: PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunChaosDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	render := func(workers string) string {
+		var buf bytes.Buffer
+		err := run(&buf, []string{"-chaos", "-seed", "5", "-duration", "short", "-workers", workers})
+		if err != nil {
+			t.Fatalf("%v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	if a, b := render("1"), render("8"); a != b {
+		t.Errorf("chaos report differs across -workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunChaosRejectsBadDuration(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-chaos", "-duration", "eternal"}); err == nil {
+		t.Error("unknown chaos duration accepted")
+	}
+}

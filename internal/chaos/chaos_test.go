@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	if err := ShortConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LongConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Replicas = 2 },
+		func(c *Config) { c.ReplicaOutage = 0 },
+		// 3 concurrent outages of 5 replicas can leave a key below
+		// quorum; the config must refuse it.
+		func(c *Config) { c.ReplicaOutage = 3 },
+		func(c *Config) { c.MessagesPerPhase = 0 },
+		func(c *Config) { c.ChurnRounds = -1 },
+		func(c *Config) { c.ProbeLoss = 0 },
+		func(c *Config) { c.ProbeLoss = 1 },
+		func(c *Config) { c.SilentLeaves = 0 },
+		func(c *Config) { c.Warmup = 0 },
+		func(c *Config) { c.Pace = 0 },
+		func(c *Config) { c.System.Blame.MinProbesPerLink = 0 },
+		func(c *Config) { c.System.OverlayFraction = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := ShortConfig(1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCampaignInvariantsHold(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(ShortConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("invariants failed:\n%s", rep)
+	}
+	// The campaign must genuinely compose fault kinds, not just list
+	// them: each episode leaves observable tracks.
+	if len(rep.FaultKinds) < 4 {
+		t.Errorf("only %d fault kinds composed", len(rep.FaultKinds))
+	}
+	if rep.Counters.ProbesLost == 0 {
+		t.Error("probe-loss episode ate no sweeps")
+	}
+	if rep.Counters.ProbesSuppressed == 0 {
+		t.Error("silence/staleness episodes suppressed no sweeps")
+	}
+	if rep.StaleSends == 0 {
+		t.Error("stale-evidence episode routed no traffic")
+	}
+	if rep.FinalNodes == rep.Nodes {
+		t.Error("churn episode changed no membership")
+	}
+	if rep.Counters.GhostProbesStopped == 0 {
+		t.Error("departed nodes' probe loops were not stopped")
+	}
+	if rep.Sent == 0 || rep.Diagnosed == 0 {
+		t.Errorf("campaign routed %d messages, diagnosed %d", rep.Sent, rep.Diagnosed)
+	}
+	if rep.ChainsPublished == 0 {
+		t.Error("no accusation chains published; durability invariant was vacuous")
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	render := func(workers int) string {
+		cfg := ShortConfig(9)
+		cfg.Workers = workers
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	w1 := render(1)
+	w1again := render(1)
+	w4 := render(4)
+	w16 := render(16)
+	if w1 != w1again {
+		t.Errorf("same seed, same workers, different reports:\n%s\nvs\n%s", w1, w1again)
+	}
+	if w1 != w4 {
+		t.Errorf("workers=1 vs workers=4 reports differ:\n%s\nvs\n%s", w1, w4)
+	}
+	if w1 != w16 {
+		t.Errorf("workers=1 vs workers=16 reports differ:\n%s\nvs\n%s", w1, w16)
+	}
+}
+
+func TestCampaignSeedChangesOutcome(t *testing.T) {
+	t.Parallel()
+	a, err := Run(ShortConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ShortConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different seeds produced identical campaigns")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	t.Parallel()
+	var r Report
+	if r.Passed() {
+		t.Error("report with no invariants counted as passed")
+	}
+	r.addInvariant("a", true, "fine")
+	if !r.Passed() {
+		t.Error("all-ok invariants not passed")
+	}
+	r.addInvariant("b", false, "broke")
+	if r.Passed() {
+		t.Error("failed invariant ignored")
+	}
+	s := r.String()
+	if !strings.Contains(s, "[FAIL] b") || !strings.Contains(s, "result: FAIL") {
+		t.Errorf("failure not rendered:\n%s", s)
+	}
+}

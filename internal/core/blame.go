@@ -23,6 +23,15 @@ type BlameConfig struct {
 	// GuiltyThreshold converts continuous blame into a binary verdict;
 	// the paper's example threshold is 0.4 (§4.3).
 	GuiltyThreshold float64
+	// MinProbesPerLink is the evidence floor for a link's confidence to
+	// count as known. The paper's equation treats an unprobed link as
+	// "no evidence the link was bad" (confidence 0), which convicts the
+	// forwarder on an empty archive; with MinProbesPerLink > 0 the
+	// engine instead widens the verdict's uncertainty interval — an
+	// under-evidenced link's confidence spans [0, 1] — and only
+	// convicts when even the interval's lower blame bound clears the
+	// threshold. 0 (the default) preserves the paper's behavior.
+	MinProbesPerLink int
 }
 
 // DefaultBlameConfig returns the paper's evaluation parameters.
@@ -39,6 +48,8 @@ func (c BlameConfig) Validate() error {
 		return fmt.Errorf("core: Δ %v must be positive", c.Delta)
 	case c.GuiltyThreshold <= 0 || c.GuiltyThreshold >= 1:
 		return fmt.Errorf("core: guilty threshold %v out of (0,1)", c.GuiltyThreshold)
+	case c.MinProbesPerLink < 0:
+		return fmt.Errorf("core: min probes per link %d negative", c.MinProbesPerLink)
 	}
 	return nil
 }
@@ -58,9 +69,24 @@ type BlameResult struct {
 	Judged id.ID
 	At     netsim.Time
 	// Blame is Pr(B faulty) per Eq. 2: 1 − max-link confidence that the
-	// path was bad.
+	// path was bad. With under-evidenced links it is the interval's
+	// upper bound (every unknown link assumed healthy).
 	Blame float64
-	// Guilty applies the configured threshold.
+	// BlameLo is the lower bound of the blame interval: every
+	// under-evidenced link assumed fully bad. Equal to Blame when all
+	// links met the evidence floor.
+	BlameLo float64
+	// Degraded reports that at least one link fell below the engine's
+	// MinProbesPerLink evidence floor, so the verdict carries widened
+	// uncertainty (stale or partial evidence, §3.4's admissibility
+	// window left empty).
+	Degraded bool
+	// TotalProbes is the number of admissible probe records consulted
+	// across all links.
+	TotalProbes int
+	// Guilty applies the configured threshold — to Blame normally, to
+	// BlameLo when the verdict is degraded, so missing evidence never
+	// convicts on its own.
 	Guilty bool
 	// WorstLink is the link that bounded the network's culpability (the
 	// argmax of Eq. 3), if any probes covered the path.
@@ -163,17 +189,36 @@ func (e *BlameEngine) Blame(judged id.ID, path []topology.LinkID, at netsim.Time
 	}
 	res := BlameResult{Judged: judged, At: at, Evidence: make([]LinkConfidence, 0, len(path))}
 	confidences := make([]float64, 0, len(path))
+	worstCase := make([]float64, 0, len(path))
 	for _, l := range path {
 		lc := e.linkConfidence(judged, l, at, exclude)
 		res.Evidence = append(res.Evidence, lc)
+		res.TotalProbes += lc.Probes
 		confidences = append(confidences, lc.Confidence)
+		if lc.Probes < e.cfg.MinProbesPerLink {
+			// Under-evidenced: the link's true confidence could be
+			// anything in [0, 1]; for the lower blame bound assume it
+			// was fully bad (which exonerates the forwarder).
+			res.Degraded = true
+			worstCase = append(worstCase, 1)
+		} else {
+			worstCase = append(worstCase, lc.Confidence)
+		}
 		if lc.Confidence > res.WorstLink.Confidence || res.WorstLink.Probes == 0 && lc.Probes > 0 {
 			res.WorstLink = lc
 		}
 	}
 	// Eq. 2: Pr(B faulty) = 1 − Pr(path bad) = 1 − fuzzy-OR over links.
 	res.Blame = fuzzy.Not(fuzzy.Or(confidences...))
-	res.Guilty = res.Blame >= e.cfg.GuiltyThreshold
+	res.BlameLo = fuzzy.Not(fuzzy.Or(worstCase...))
+	if res.Degraded {
+		// Partial or stale evidence: widen rather than convict. The
+		// threshold must clear even under the assumption that every
+		// unprobed link was broken.
+		res.Guilty = res.BlameLo >= e.cfg.GuiltyThreshold
+	} else {
+		res.Guilty = res.Blame >= e.cfg.GuiltyThreshold
+	}
 	return res, nil
 }
 

@@ -98,6 +98,91 @@ func TestBlameNoEvidenceMeansFaulty(t *testing.T) {
 	}
 }
 
+func TestBlameDegradedOnStaleEvidence(t *testing.T) {
+	t.Parallel()
+	// With an evidence floor, a blame call whose admissibility window
+	// holds no probes (stale archive) returns a degraded verdict with
+	// the widest uncertainty interval instead of convicting.
+	arch := newArchive(t)
+	judged := id.MustParse("0000000000000000000000000000000a")
+	prober := id.MustParse("0000000000000000000000000000000b")
+	sendAt := netsim.Time(0).Add(time.Hour)
+	// The only probe is far older than Δ, so it is inadmissible.
+	record(t, arch, prober, sendAt.Add(-30*time.Minute), 3, false)
+
+	cfg := DefaultBlameConfig()
+	cfg.MinProbesPerLink = 1
+	eng, err := NewBlameEngine(arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Blame(judged, []topology.LinkID{3, 4}, sendAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Error("stale evidence did not degrade the verdict")
+	}
+	if res.Guilty {
+		t.Error("degraded verdict convicted on zero evidence")
+	}
+	if res.Blame != 1 || res.BlameLo != 0 {
+		t.Errorf("interval = [%v, %v], want [0, 1]", res.BlameLo, res.Blame)
+	}
+	if res.TotalProbes != 0 {
+		t.Errorf("TotalProbes = %d, want 0", res.TotalProbes)
+	}
+}
+
+func TestBlameDegradedPartialEvidence(t *testing.T) {
+	t.Parallel()
+	// One link well probed (up), one link unprobed: the interval spans
+	// from "unprobed link was broken" to "everything healthy"; the
+	// conviction must not fire because the lower bound is 0.
+	arch := newArchive(t)
+	judged := id.MustParse("0000000000000000000000000000000c")
+	prober := id.MustParse("0000000000000000000000000000000d")
+	at := netsim.Time(0).Add(time.Hour)
+	record(t, arch, prober, at, 8, true)
+
+	cfg := DefaultBlameConfig()
+	cfg.MinProbesPerLink = 1
+	eng, err := NewBlameEngine(arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Blame(judged, []topology.LinkID{8, 9}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Guilty {
+		t.Errorf("degraded=%v guilty=%v, want degraded non-guilty", res.Degraded, res.Guilty)
+	}
+	if math.Abs(res.Blame-0.9) > 1e-12 {
+		t.Errorf("blame upper = %v, want 0.9", res.Blame)
+	}
+	if res.BlameLo != 0 {
+		t.Errorf("blame lower = %v, want 0", res.BlameLo)
+	}
+
+	// Full evidence on both links keeps the verdict sharp: interval
+	// collapses and the paper's conviction logic applies unchanged.
+	record(t, arch, prober, at, 9, true)
+	res, err = eng.Blame(judged, []topology.LinkID{8, 9}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("fully probed span still degraded")
+	}
+	if res.BlameLo != res.Blame {
+		t.Errorf("interval [%v, %v] did not collapse", res.BlameLo, res.Blame)
+	}
+	if !res.Guilty {
+		t.Error("healthy path with full evidence did not convict the forwarder")
+	}
+}
+
 func TestBlameDownLinkExoneratesForwarder(t *testing.T) {
 	t.Parallel()
 	arch := newArchive(t)

@@ -22,6 +22,9 @@ const (
 	DropByLink
 	// DropAckByLink: the message arrived but the acknowledgment was lost.
 	DropAckByLink
+	// DropByChurn: the next hop departed the overlay while the message
+	// was in flight, so there was nobody to hand it to.
+	DropByChurn
 )
 
 // DeliveryReport is the full outcome of one stewarded message: the
@@ -34,8 +37,14 @@ type DeliveryReport struct {
 	Delivered   bool
 	AckReceived bool
 	Kind        DropKind
-	DroppedBy   id.ID           // when Kind == DropByNode
+	DroppedBy   id.ID           // when Kind == DropByNode or DropByChurn
 	BrokenLink  topology.LinkID // when Kind == DropByLink or DropAckByLink
+
+	// ChainUnavailable reports that a culprit was identified but the
+	// amended accusation could not be (fully) assembled because a
+	// participant departed the overlay mid-diagnosis — the degraded
+	// outcome of churn racing the protocol, not an error.
+	ChainUnavailable bool
 
 	// Verdicts holds each steward's judgment of its next hop, in route
 	// order (stewards that never saw the message issue none).
@@ -112,7 +121,17 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 			rep.BrokenLink = bad
 			break
 		}
-		next := s.Nodes[route[i+1]]
+		next, present := s.Nodes[route[i+1]]
+		if !present {
+			// The next hop crashed or departed while the message was in
+			// flight (churn events fire inside the latency advance
+			// above): nobody received it. From the stewards' view this
+			// is indistinguishable from a silent drop by that peer.
+			rep.Kind = DropByChurn
+			rep.DroppedBy = route[i+1]
+			s.Counters.ChurnDrops++
+			break
+		}
 		reached = i + 1
 		if next.Behavior.DropsMessages && route[i+1] != dst {
 			rep.Kind = DropByNode
@@ -192,10 +211,30 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 	rep.Culprit = deepest.Judged
 
 	// Assemble the self-verifying amended accusation from the connected
-	// run of guilty verdicts ending at the culprit.
+	// run of guilty verdicts ending at the culprit. Signing needs both
+	// parties' keys, so links whose accuser or judged departed the
+	// overlay mid-diagnosis cannot be built; keep the deepest contiguous
+	// suffix where everyone is still present — a truncated (or absent)
+	// chain is the degraded outcome of churn racing the protocol.
 	start := len(rep.Verdicts) - 1
 	for start > 0 && rep.Verdicts[start-1].Guilty {
 		start--
+	}
+	for vi := start; vi < len(rep.Verdicts); vi++ {
+		_, haveAccuser := s.Nodes[route[vi]]
+		_, haveJudged := s.Nodes[rep.Verdicts[vi].Judged]
+		if !haveAccuser || !haveJudged {
+			start = vi + 1
+			rep.ChainUnavailable = true
+		}
+	}
+	if rep.ChainUnavailable {
+		s.Counters.ChainsUnavailable++
+	}
+	if start >= len(rep.Verdicts) {
+		// Every candidate link lost a participant: the culprit stands
+		// accused by the verdict record, but no signed chain exists.
+		return rep, nil
 	}
 	var links []Accusation
 	for vi := start; vi < len(rep.Verdicts); vi++ {
@@ -234,6 +273,8 @@ func dropDetail(k DropKind) string {
 		return "by-link"
 	case DropAckByLink:
 		return "ack-by-link"
+	case DropByChurn:
+		return "by-churn"
 	default:
 		return "unknown"
 	}

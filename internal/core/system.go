@@ -120,11 +120,45 @@ type System struct {
 	Window  *VerdictWindow
 
 	Injector *netsim.FailureInjector
-	rng      stats.Rand
-	probing  bool
+	// Counters surfaces errors and degradations that would otherwise be
+	// swallowed on hot paths, for the chaos invariant report.
+	Counters SystemCounters
+
+	rng     stats.Rand
+	probing bool
 	// lastPrune rate-limits archive pruning: a prune sweeps every link's
 	// record list, so doing it per probe would be quadratic in practice.
 	lastPrune netsim.Time
+
+	// Chaos-injection hooks: all default-off, so the unperturbed system
+	// consumes exactly the same random stream as before they existed.
+	probeLoss        float64
+	probesSuppressed bool
+	silent           map[id.ID]bool
+}
+
+// SystemCounters aggregates swallowed-error and fault-injection events.
+// The chaos campaign prints them; zero values mean the corresponding
+// path never slipped.
+type SystemCounters struct {
+	// ArchiveRecordErrors counts probe results the archive refused.
+	ArchiveRecordErrors uint64
+	// ProbeRescheduleErrors counts probe loops that died because the
+	// next sweep could not be scheduled.
+	ProbeRescheduleErrors uint64
+	// ProbesLost counts whole sweeps eaten by injected packet loss.
+	ProbesLost uint64
+	// ProbesSuppressed counts sweeps skipped by suppression or silence.
+	ProbesSuppressed uint64
+	// GhostProbesStopped counts probe loops halted because their node
+	// departed the overlay.
+	GhostProbesStopped uint64
+	// ChurnDrops counts deliveries that died because a route member
+	// departed mid-flight.
+	ChurnDrops uint64
+	// ChainsUnavailable counts diagnoses whose accusation chain could
+	// not be assembled because a participant departed mid-diagnosis.
+	ChainsUnavailable uint64
 }
 
 // BuildSystem constructs the deployment deterministically from cfg and
@@ -317,15 +351,62 @@ func (s *System) StartProbing() error {
 	return nil
 }
 
+// SetProbeLoss injects random probe-packet loss: each scheduled sweep
+// is eaten whole with probability p (its observations never reach the
+// archive). 0 disables the fault and restores the exact pre-fault
+// random stream.
+func (s *System) SetProbeLoss(p float64) error {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return fmt.Errorf("core: probe loss %v out of [0,1)", p)
+	}
+	s.probeLoss = p
+	return nil
+}
+
+// SuppressProbes pauses (or resumes) every node's probe publication —
+// the evidence-staleness fault: virtual time keeps advancing, so
+// archived probes age past the §3.4 admissibility window Δ.
+func (s *System) SuppressProbes(suppressed bool) { s.probesSuppressed = suppressed }
+
+// SetNodeSilent marks one node's probe sweeps as silent (a
+// tomography-tree leaf that stopped reporting) without removing it from
+// the overlay.
+func (s *System) SetNodeSilent(nid id.ID, silent bool) error {
+	if _, ok := s.Nodes[nid]; !ok {
+		return fmt.Errorf("core: unknown node %s", nid.Short())
+	}
+	if s.silent == nil {
+		s.silent = make(map[id.ID]bool)
+	}
+	s.silent[nid] = silent
+	return nil
+}
+
 func (s *System) scheduleProbe(node *Node) error {
 	delay := time.Duration(s.rng.Float64() * float64(s.Config.MaxProbeTime))
 	return s.Sim.ScheduleAfter(delay, func() {
+		if _, ok := s.Nodes[node.ID()]; !ok {
+			// The node departed after this sweep was scheduled: a ghost
+			// must not keep publishing probes, and its loop ends here.
+			s.Counters.GhostProbesStopped++
+			return
+		}
+		if s.probesSuppressed || s.silent[node.ID()] {
+			s.Counters.ProbesSuppressed++
+			s.reschedProbe(node)
+			return
+		}
+		if s.probeLoss > 0 && s.rng.Float64() < s.probeLoss {
+			s.Counters.ProbesLost++
+			s.reschedProbe(node)
+			return
+		}
 		obs, err := tomography.ObserveLinks(s.Net, node.Tree.Links(), s.Config.Blame.ProbeAccuracy, s.rng)
 		if err == nil {
 			if s.Config.SignedSnapshots {
 				s.publishSnapshot(node, obs)
-			} else {
-				_ = s.Archive.Record(node.ID(), s.Sim.Now(), obs)
+			} else if err := s.Archive.Record(node.ID(), s.Sim.Now(), obs); err != nil {
+				s.Counters.ArchiveRecordErrors++
 			}
 			s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindProbe, Node: node.ID()})
 		}
@@ -336,8 +417,16 @@ func (s *System) scheduleProbe(node *Node) error {
 				s.Archive.Prune(now.Add(-s.Config.ArchiveRetention))
 			}
 		}
-		_ = s.scheduleProbe(node)
+		s.reschedProbe(node)
 	})
+}
+
+// reschedProbe queues the node's next sweep, surfacing (instead of
+// swallowing) scheduling failures.
+func (s *System) reschedProbe(node *Node) {
+	if err := s.scheduleProbe(node); err != nil {
+		s.Counters.ProbeRescheduleErrors++
+	}
 }
 
 // publishSnapshot runs the full §3.2 dissemination path: the prober

@@ -57,8 +57,9 @@ func New(ring *overlay.Ring, replicas int) (*Store, error) {
 }
 
 // SetFaulty marks a replica as misbehaving: it drops writes and returns
-// nothing on reads. Used by failure-injection tests to check that
-// replication tolerates bad replicas.
+// nothing on reads. Used by failure injection (tests and the chaos
+// campaign's scheduled replica outages) to check that replication
+// tolerates bad replicas.
 func (s *Store) SetFaulty(node id.ID, faulty bool) error {
 	if _, ok := s.nodes[node]; !ok {
 		return fmt.Errorf("dht: unknown node %s", node.Short())
@@ -66,6 +67,37 @@ func (s *Store) SetFaulty(node id.ID, faulty bool) error {
 	s.faulty[node] = faulty
 	return nil
 }
+
+// FaultyCount returns the number of currently faulty members.
+func (s *Store) FaultyCount() int {
+	n := 0
+	for node, bad := range s.faulty {
+		if bad {
+			if _, ok := s.nodes[node]; ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Health describes how much of a key's replica set answered an
+// operation. Live < Total is a degraded (but successful) operation;
+// Live == 0 is a total outage the caller must be told about.
+type Health struct {
+	// Live is the number of replicas that served the operation.
+	Live int
+	// Total is the size of the key's replica set.
+	Total int
+}
+
+// Degraded reports a partial replica set.
+func (h Health) Degraded() bool { return h.Live < h.Total }
+
+// Quorum reports whether a strict majority of the replica set was live.
+// Campaigns that keep concurrent outages below half the replica set get
+// read-your-writes durability at every instant, not just after repair.
+func (h Health) Quorum() bool { return 2*h.Live > h.Total }
 
 // ReplicaSet returns the members responsible for key, nearest first.
 func (s *Store) ReplicaSet(key id.ID) []id.ID {
@@ -79,10 +111,19 @@ func (s *Store) ReplicaSet(key id.ID) []id.ID {
 // Put stores value under key on every live replica. It fails only when
 // every replica is faulty.
 func (s *Store) Put(key id.ID, value []byte) error {
+	_, err := s.PutChecked(key, value)
+	return err
+}
+
+// PutChecked stores value under key on every live replica, falling back
+// across the replica set, and reports how many replicas accepted the
+// write. It fails only when every replica is faulty; a degraded health
+// (Live < Total) means the write landed but with reduced durability.
+func (s *Store) PutChecked(key id.ID, value []byte) (Health, error) {
+	h := Health{Total: s.replicas}
 	if len(value) == 0 {
-		return fmt.Errorf("dht: empty value")
+		return h, fmt.Errorf("dht: empty value")
 	}
-	stored := 0
 	for _, r := range s.ReplicaSet(key) {
 		if s.faulty[r] {
 			continue
@@ -100,23 +141,36 @@ func (s *Store) Put(key id.ID, value []byte) error {
 			cp := append([]byte(nil), value...)
 			ns.values[key] = append(ns.values[key], cp)
 		}
-		stored++
+		h.Live++
 	}
-	if stored == 0 {
-		return fmt.Errorf("dht: all %d replicas for %s are faulty", s.replicas, key.Short())
+	if h.Live == 0 {
+		return h, fmt.Errorf("dht: all %d replicas for %s are faulty", s.replicas, key.Short())
 	}
-	return nil
+	return h, nil
 }
 
 // Get returns the distinct values stored under key across the replica
 // set, in first-seen order.
 func (s *Store) Get(key id.ID) [][]byte {
+	out, _, _ := s.GetChecked(key)
+	return out
+}
+
+// GetChecked returns the distinct values stored under key across the
+// live members of the replica set, in first-seen order, plus the read's
+// replica health. A fetch that reached no replica at all returns an
+// error rather than a silently empty result — callers can distinguish
+// "nothing is stored" (nil values, nil error) from "the whole replica
+// set is down" (error).
+func (s *Store) GetChecked(key id.ID) ([][]byte, Health, error) {
+	h := Health{Total: s.replicas}
 	var out [][]byte
 	seen := make(map[string]bool)
 	for _, r := range s.ReplicaSet(key) {
 		if s.faulty[r] {
 			continue
 		}
+		h.Live++
 		for _, v := range s.nodes[r].values[key] {
 			k := string(v)
 			if !seen[k] {
@@ -125,7 +179,22 @@ func (s *Store) Get(key id.ID) [][]byte {
 			}
 		}
 	}
-	return out
+	if h.Live == 0 {
+		return nil, h, fmt.Errorf("dht: all %d replicas for %s are faulty", s.replicas, key.Short())
+	}
+	return out, h, nil
+}
+
+// KeyHealth reports the current replica health of a key without reading
+// its values.
+func (s *Store) KeyHealth(key id.ID) Health {
+	h := Health{Total: s.replicas}
+	for _, r := range s.ReplicaSet(key) {
+		if !s.faulty[r] {
+			h.Live++
+		}
+	}
+	return h
 }
 
 // Load returns the number of keys a node is responsible for — used to

@@ -152,6 +152,94 @@ func TestStoreSurvivesFaultyReplicas(t *testing.T) {
 	}
 }
 
+func TestStoreDegradedReads(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(31, 32))
+	ring, _ := testRing(t, 30, r)
+	s, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store several accusations under one key with all replicas healthy.
+	key := id.Random(r)
+	values := [][]byte{[]byte("acc-a"), []byte("acc-b"), []byte("acc-c")}
+	for _, v := range values {
+		h, err := s.PutChecked(key, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Live != 4 || h.Total != 4 || h.Degraded() {
+			t.Fatalf("healthy put health = %+v", h)
+		}
+	}
+	// Fail replicas one at a time: with up to replicas-1 faulty, every
+	// stored value must still come back, with health reporting the dip.
+	set := s.ReplicaSet(key)
+	for down := 1; down < len(set); down++ {
+		if err := s.SetFaulty(set[down-1], true); err != nil {
+			t.Fatal(err)
+		}
+		got, h, err := s.GetChecked(key)
+		if err != nil {
+			t.Fatalf("%d faulty: %v", down, err)
+		}
+		if len(got) != len(values) {
+			t.Fatalf("%d faulty: %d values returned, want %d", down, len(got), len(values))
+		}
+		if h.Live != 4-down || !h.Degraded() {
+			t.Fatalf("%d faulty: health = %+v", down, h)
+		}
+		if wantQ := 2*(4-down) > 4; h.Quorum() != wantQ {
+			t.Fatalf("%d faulty: quorum = %v, want %v", down, h.Quorum(), wantQ)
+		}
+	}
+	// All replicas faulty: the outage must be detected and reported,
+	// not returned as a silently empty result.
+	if err := s.SetFaulty(set[len(set)-1], true); err != nil {
+		t.Fatal(err)
+	}
+	got, h, err := s.GetChecked(key)
+	if err == nil {
+		t.Fatalf("total outage returned values=%v health=%+v with nil error", got, h)
+	}
+	if h.Live != 0 {
+		t.Errorf("total outage health = %+v", h)
+	}
+	if s.FaultyCount() != 4 {
+		t.Errorf("FaultyCount = %d, want 4", s.FaultyCount())
+	}
+	// An empty key on a healthy replica set stays distinguishable: nil
+	// values with nil error.
+	empty := id.Random(r)
+	if vals, h2, err := s.GetChecked(empty); err != nil || vals != nil || h2.Live == 0 {
+		t.Errorf("empty key: vals=%v health=%+v err=%v", vals, h2, err)
+	}
+}
+
+func TestKeyHealthTracksOutages(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(33, 34))
+	ring, _ := testRing(t, 20, r)
+	s, err := New(ring, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := id.Random(r)
+	if h := s.KeyHealth(key); h.Live != 3 || !h.Quorum() {
+		t.Fatalf("healthy key health = %+v", h)
+	}
+	set := s.ReplicaSet(key)
+	if err := s.SetFaulty(set[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFaulty(set[1], true); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.KeyHealth(key); h.Live != 1 || h.Quorum() {
+		t.Fatalf("degraded key health = %+v", h)
+	}
+}
+
 // buildVerifiedChain creates a minimal valid single-link chain.
 func buildVerifiedChain(t *testing.T, r *rand.Rand) (*core.RevisionChain, core.KeyDirectory) {
 	t.Helper()
@@ -224,6 +312,51 @@ func TestAccusationRepoRoundTrip(t *testing.T) {
 	n, err := repo.Count(chain.Culprit())
 	if err != nil || n != 1 {
 		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestAccusationRepoDegradedFetch(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewPCG(35, 36))
+	chain, keys := buildVerifiedChain(t, r)
+	ring, _ := testRing(t, 25, r)
+	store, err := New(ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := NewAccusationRepo(store, keys, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Publish(chain); err != nil {
+		t.Fatal(err)
+	}
+	// Up to replicas-1 faulty members: the accusation must survive.
+	set := store.ReplicaSet(chain.Culprit())
+	for down := 1; down < len(set); down++ {
+		if err := store.SetFaulty(set[down-1], true); err != nil {
+			t.Fatal(err)
+		}
+		got, h, err := repo.FetchChecked(chain.Culprit())
+		if err != nil {
+			t.Fatalf("%d faulty: %v", down, err)
+		}
+		if len(got) != 1 || got[0].Culprit() != chain.Culprit() {
+			t.Fatalf("%d faulty: accusation lost (%d chains)", down, len(got))
+		}
+		if !h.Degraded() {
+			t.Fatalf("%d faulty: health not degraded: %+v", down, h)
+		}
+	}
+	// Full outage: reported, not silently empty.
+	if err := store.SetFaulty(set[len(set)-1], true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repo.FetchChecked(chain.Culprit()); err == nil {
+		t.Error("total outage fetch returned nil error")
+	}
+	if _, err := repo.Fetch(chain.Culprit()); err == nil {
+		t.Error("total outage Fetch returned nil error")
 	}
 }
 

@@ -48,10 +48,23 @@ func (r *AccusationRepo) Publish(chain *core.RevisionChain) error {
 
 // Fetch returns every verifiable accusation chain against the accused.
 // Chains that fail verification are silently dropped — a corrupt
-// replica cannot manufacture reputation damage.
+// replica cannot manufacture reputation damage. A total replica outage
+// is reported as an error, never as an empty result.
 func (r *AccusationRepo) Fetch(accused id.ID) ([]*core.RevisionChain, error) {
+	chains, _, err := r.FetchChecked(accused)
+	return chains, err
+}
+
+// FetchChecked is Fetch plus the replica health of the read, so callers
+// (the chaos campaign's durability invariant, sanctioning policies under
+// partial outage) can tell a full-quorum answer from a degraded one.
+func (r *AccusationRepo) FetchChecked(accused id.ID) ([]*core.RevisionChain, Health, error) {
+	raws, health, err := r.store.GetChecked(accused)
+	if err != nil {
+		return nil, health, fmt.Errorf("dht: fetch %s: %w", accused.Short(), err)
+	}
 	var out []*core.RevisionChain
-	for _, raw := range r.store.Get(accused) {
+	for _, raw := range raws {
 		var chain core.RevisionChain
 		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&chain); err != nil {
 			continue // corrupt bytes from a bad replica
@@ -64,7 +77,7 @@ func (r *AccusationRepo) Fetch(accused id.ID) ([]*core.RevisionChain, error) {
 		}
 		out = append(out, &chain)
 	}
-	return out, nil
+	return out, health, nil
 }
 
 // Count returns the number of verifiable accusations against accused —

@@ -59,12 +59,32 @@ func (c FailureConfig) Validate() error {
 	return nil
 }
 
+// InjectorStats counts the injector's internal slips: selection rounds
+// that found no healthy link to fail (saturation), deficits re-injected
+// after a repair freed capacity, and errors that the repair/replace
+// cycle would otherwise swallow. Chaos campaigns surface these in their
+// invariant report instead of letting them vanish.
+type InjectorStats struct {
+	// SaturatedSkips counts failOne rounds that exhausted their tries
+	// because every candidate link was already down.
+	SaturatedSkips uint64
+	// Reinjected counts deferred failures injected after a later repair.
+	Reinjected uint64
+	// SetLinkErrors counts SetLinkDown failures during repair/replace.
+	SetLinkErrors uint64
+	// ScheduleErrors counts repair-scheduling failures during replace.
+	ScheduleErrors uint64
+}
+
 // FailureInjector drives link failures per FailureConfig. Candidate
 // links are those appearing on the supplied overlay paths, mirroring the
 // paper's "pick an overlay host and a random peer in its routing state"
 // selection; the target down-count is DownFraction times the number of
 // distinct candidate links, held constant by injecting a replacement
-// failure whenever a link repairs.
+// failure whenever a link repairs. When selection saturates (every
+// candidate link already down), the missed failure is tracked as a
+// deficit and re-injected by the next repair instead of silently
+// dropping the down-count below Target.
 type FailureInjector struct {
 	net   *Network
 	rng   stats.Rand
@@ -75,6 +95,8 @@ type FailureInjector struct {
 	min      time.Duration
 	target   int
 
+	deficit int
+	stats   InjectorStats
 	started bool
 }
 
@@ -119,6 +141,14 @@ func NewFailureInjector(net *Network, rng stats.Rand, paths [][]topology.LinkID,
 // Target returns the steady-state number of concurrently failed links.
 func (f *FailureInjector) Target() int { return f.target }
 
+// Deficit returns the number of failures owed but not yet injected
+// because selection saturated. The invariant the injector maintains is
+// live-down-count + Deficit == Target once Start has run.
+func (f *FailureInjector) Deficit() int { return f.deficit }
+
+// Stats returns a snapshot of the injector's slip counters.
+func (f *FailureInjector) Stats() InjectorStats { return f.stats }
+
 // Start fails the initial set of links and begins the repair/replace
 // cycle. It must be called exactly once, before running the simulator.
 func (f *FailureInjector) Start() error {
@@ -127,7 +157,7 @@ func (f *FailureInjector) Start() error {
 	}
 	f.started = true
 	for i := 0; i < f.target; i++ {
-		if err := f.failOne(); err != nil {
+		if _, err := f.failOne(); err != nil {
 			return err
 		}
 	}
@@ -136,8 +166,10 @@ func (f *FailureInjector) Start() error {
 
 // failOne selects a link by the paper's path+depth rule and fails it,
 // scheduling its repair. Selection retries when it lands on an
-// already-down link.
-func (f *FailureInjector) failOne() error {
+// already-down link. When every try hits a down link the failure is
+// recorded as a deficit (injected reports false) so a later repair can
+// re-inject it.
+func (f *FailureInjector) failOne() (injected bool, err error) {
 	const maxTries = 64
 	for try := 0; try < maxTries; try++ {
 		p := f.paths[f.rng.IntN(len(f.paths))]
@@ -154,14 +186,23 @@ func (f *FailureInjector) failOne() error {
 			continue
 		}
 		if err := f.net.SetLinkDown(l, true); err != nil {
-			return err
+			f.stats.SetLinkErrors++
+			return false, err
 		}
 		d := f.sampleDowntime()
-		return f.net.Sim().ScheduleAfter(d, func() { f.repair(l) })
+		if err := f.net.Sim().ScheduleAfter(d, func() { f.repair(l) }); err != nil {
+			// The link is down but its repair will never fire; count it
+			// so the chaos report can expose the stuck failure.
+			f.stats.ScheduleErrors++
+			return true, err
+		}
+		return true, nil
 	}
 	// All tries hit down links — the down set saturated the candidate
-	// paths. Skip; the next repair restores balance.
-	return nil
+	// paths. Track the owed failure; the next repair re-injects it.
+	f.stats.SaturatedSkips++
+	f.deficit++
+	return false, nil
 }
 
 func (f *FailureInjector) sampleDowntime() time.Duration {
@@ -174,9 +215,26 @@ func (f *FailureInjector) sampleDowntime() time.Duration {
 }
 
 func (f *FailureInjector) repair(l topology.LinkID) {
-	// Repair, then immediately fail a replacement to hold the target.
+	// Repair, then fail a replacement to hold the target, plus any
+	// deficit owed from earlier saturated selections. Each attempt that
+	// saturates again re-enters the deficit via failOne, preserving
+	// down-count + deficit == target; errors are counted, not swallowed.
 	if err := f.net.SetLinkDown(l, false); err != nil {
+		f.stats.SetLinkErrors++
 		return
 	}
-	_ = f.failOne()
+	owed := 1 + f.deficit
+	f.deficit = 0
+	for i := 0; i < owed; i++ {
+		injected, err := f.failOne()
+		if err != nil && !injected {
+			// The failure never landed (counted by failOne); the debt
+			// stands, so it rejoins the deficit for the next repair.
+			f.deficit++
+			continue
+		}
+		if injected && i > 0 {
+			f.stats.Reinjected++
+		}
+	}
 }

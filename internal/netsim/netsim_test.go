@@ -381,6 +381,70 @@ func TestFailureInjectorRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestFailureInjectorReinjectsDeficit(t *testing.T) {
+	t.Parallel()
+	g := lineGraph(t, 5) // 4 links
+	sim := NewSimulator()
+	r := testRand()
+	n, err := NewNetwork(g, sim, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topology.LinkID{0, 1, 2, 3}
+	cfg := DefaultFailureConfig()
+	cfg.DownFraction = 0.5 // target 2 of 4
+	cfg.MeanDowntime = time.Minute
+	cfg.StdDowntime = 10 * time.Second
+	cfg.MinDowntime = 30 * time.Second
+	inj, err := NewFailureInjector(n, r, [][]topology.LinkID{path}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if n.DownCount() != 2 || inj.Deficit() != 0 {
+		t.Fatalf("after start: down=%d deficit=%d", n.DownCount(), inj.Deficit())
+	}
+	// Saturate the candidate set: externally fail the remaining links,
+	// then demand one more failure. Selection cannot land anywhere, so
+	// the demand must become deficit, not vanish.
+	var external []topology.LinkID
+	for _, l := range path {
+		if !n.LinkDown(l) {
+			external = append(external, l)
+			if err := n.SetLinkDown(l, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	injected, err := inj.failOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected || inj.Deficit() != 1 || inj.Stats().SaturatedSkips != 1 {
+		t.Fatalf("saturated failOne: injected=%v deficit=%d stats=%+v",
+			injected, inj.Deficit(), inj.Stats())
+	}
+	// Free the external links; the next repair must re-inject the owed
+	// failure on top of its own replacement.
+	for _, l := range external {
+		if err := n.SetLinkDown(l, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunFor(30 * time.Minute)
+	if got := n.DownCount(); got != 3 {
+		t.Errorf("down = %d, want 3 (target 2 + one re-injected deficit)", got)
+	}
+	if inj.Deficit() != 0 {
+		t.Errorf("deficit = %d, want 0 after re-injection", inj.Deficit())
+	}
+	if s := inj.Stats(); s.Reinjected == 0 {
+		t.Errorf("stats = %+v, want Reinjected > 0", s)
+	}
+}
+
 func BenchmarkSimulatorChurn(b *testing.B) {
 	s := NewSimulator()
 	b.ReportAllocs()

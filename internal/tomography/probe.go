@@ -3,6 +3,7 @@ package tomography
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"concilium/internal/netsim"
 	"concilium/internal/stats"
@@ -35,6 +36,38 @@ type LightweightResult struct {
 	Acked []bool
 	// Packets counts probe packets sent (for bandwidth accounting).
 	Packets int
+	// Unreached counts leaves still silent when the sweep ended.
+	Unreached int
+	// BudgetExhausted reports that the sweep stopped early because its
+	// retry packet budget ran out, not because every leaf answered or
+	// every retry round completed.
+	BudgetExhausted bool
+	// BackoffTotal is the cumulative delay a live deployment would have
+	// waited between retry rounds under the sweep's backoff schedule.
+	BackoffTotal time.Duration
+}
+
+// RetryBudget bounds how hard a prober chases silent leaves before
+// giving up: a round count, an optional total packet cap, and an
+// exponential backoff between rounds. Under injected probe-packet loss
+// an unbounded retry loop turns a lossy episode into a probe storm; the
+// budget makes the sweep degrade into declared-unreached leaves
+// instead.
+type RetryBudget struct {
+	// Retries is the number of retry rounds after the initial stripe.
+	Retries int
+	// PacketBudget caps the total retry packets across all rounds;
+	// 0 means unlimited.
+	PacketBudget int
+	// Backoff is the delay before the first retry round; each further
+	// round doubles it. 0 disables backoff accounting.
+	Backoff time.Duration
+}
+
+// DefaultRetryBudget matches the paper's §3.2 behavior (a couple of
+// immediate retries) with a packet cap sized for one tree sweep.
+func DefaultRetryBudget() RetryBudget {
+	return RetryBudget{Retries: 2, PacketBudget: 0, Backoff: 0}
 }
 
 // LightweightProbe emulates the paper's lightweight tomography: the
@@ -43,8 +76,17 @@ type LightweightResult struct {
 // `retries` further independent probes before being declared unreached
 // (§3.2).
 func (p *Prober) LightweightProbe(retries int) LightweightResult {
-	if retries < 0 {
-		retries = 0
+	return p.LightweightProbeBudget(RetryBudget{Retries: retries})
+}
+
+// LightweightProbeBudget runs one availability sweep under a retry
+// budget. The initial stripe always goes out; retry rounds stop when
+// every leaf answered, the round count is spent, or the packet budget
+// is exhausted — whichever comes first. Randomness consumption is
+// identical to LightweightProbe when the packet budget is unlimited.
+func (p *Prober) LightweightProbeBudget(b RetryBudget) LightweightResult {
+	if b.Retries < 0 {
+		b.Retries = 0
 	}
 	res := LightweightResult{Acked: make([]bool, len(p.tree.Leaves))}
 	// Initial stripe: one shared fate per link.
@@ -53,16 +95,44 @@ func (p *Prober) LightweightProbe(retries int) LightweightResult {
 		res.Acked[i] = p.sampleStriped(leaf.Path, fate)
 		res.Packets++
 	}
-	// Retries are separate packets: independent samples.
-	for r := 0; r < retries; r++ {
+	// Retries are separate packets: independent samples, backed off
+	// round by round, stopping at the packet budget.
+	retryPackets := 0
+	backoff := b.Backoff
+	for r := 0; r < b.Retries; r++ {
+		silent := false
+		for i := range p.tree.Leaves {
+			if !res.Acked[i] {
+				silent = true
+				break
+			}
+		}
+		if !silent {
+			break
+		}
+		res.BackoffTotal += backoff
+		backoff *= 2
 		for i, leaf := range p.tree.Leaves {
 			if res.Acked[i] {
 				continue
 			}
+			if b.PacketBudget > 0 && retryPackets >= b.PacketBudget {
+				res.BudgetExhausted = true
+				break
+			}
 			res.Packets++
+			retryPackets++
 			if p.samplePath(leaf.Path) {
 				res.Acked[i] = true
 			}
+		}
+		if res.BudgetExhausted {
+			break
+		}
+	}
+	for _, acked := range res.Acked {
+		if !acked {
+			res.Unreached++
 		}
 	}
 	return res

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"concilium/internal/id"
 	"concilium/internal/netsim"
@@ -280,6 +281,67 @@ func TestLightweightProbeSharedTrunkFate(t *testing.T) {
 	for i, acked := range res.Acked {
 		if acked {
 			t.Errorf("leaf %d acked through down trunk", i)
+		}
+	}
+}
+
+func TestLightweightProbeBudgetStopsAtPacketCap(t *testing.T) {
+	t.Parallel()
+	g, tree, _ := fixtureTree(t)
+	net := newFixtureNetwork(t, g, netsim.BinaryLossModel())
+	// Trunk down: all three leaves silent, so unlimited retries would
+	// spend 3 packets per round.
+	if err := net.SetLinkDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProber(tree, net, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.LightweightProbeBudget(RetryBudget{Retries: 10, PacketBudget: 4, Backoff: time.Second})
+	if !res.BudgetExhausted {
+		t.Error("packet cap never tripped")
+	}
+	// 3 initial + 4 budgeted retries.
+	if res.Packets != 7 {
+		t.Errorf("packets = %d, want 7", res.Packets)
+	}
+	if res.Unreached != 3 {
+		t.Errorf("unreached = %d, want 3", res.Unreached)
+	}
+	// Backoff doubles per completed round: 1s then 2s.
+	if res.BackoffTotal != 3*time.Second {
+		t.Errorf("backoff total = %v, want 3s", res.BackoffTotal)
+	}
+}
+
+func TestLightweightProbeBudgetMatchesLegacySweep(t *testing.T) {
+	t.Parallel()
+	// With an unlimited packet budget the budgeted sweep must consume
+	// randomness identically to LightweightProbe — same acks, same
+	// packet count — for a lossy network where retries matter.
+	g, tree, _ := fixtureTree(t)
+	lossy := netsim.LossModel{BaseLoss: 0.3, DownLoss: 1}
+	netA := newFixtureNetwork(t, g, lossy)
+	netB := newFixtureNetwork(t, g, lossy)
+	pa, err := NewProber(tree, netA, rand.New(rand.NewPCG(41, 42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewProber(tree, netB, rand.New(rand.NewPCG(41, 42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 20; sweep++ {
+		legacy := pa.LightweightProbe(3)
+		budget := pb.LightweightProbeBudget(RetryBudget{Retries: 3})
+		if legacy.Packets != budget.Packets {
+			t.Fatalf("sweep %d: packets %d vs %d", sweep, legacy.Packets, budget.Packets)
+		}
+		for i := range legacy.Acked {
+			if legacy.Acked[i] != budget.Acked[i] {
+				t.Fatalf("sweep %d leaf %d: ack %v vs %v", sweep, i, legacy.Acked[i], budget.Acked[i])
+			}
 		}
 	}
 }
