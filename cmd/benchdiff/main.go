@@ -1,0 +1,116 @@
+// Command benchdiff gates one bench report against a baseline.
+//
+// Usage:
+//
+//	benchdiff [-max-regress 0.25] [-require-checks] [-canonical] baseline.json current.json
+//
+// The exit status is the gate: nonzero when any figure's ns/op grew
+// beyond the tolerance, when a baseline figure vanished, or when a
+// strict mode's condition fails. Improvements, added figures, and
+// check-value divergence are reported but do not fail the default gate
+// — timing baselines age across machines, but a silently dropped
+// benchmark or a large regression should stop a merge.
+//
+// -require-checks fails when any figure's deterministic check values
+// differ from the baseline's (same-seed comparisons only).
+// -canonical fails unless both reports' deterministic cores are
+// byte-identical — the worker-count invariance check.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"flag"
+
+	"concilium/internal/benchreport"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	maxRegress := fs.Float64("max-regress", 0.25, "maximum tolerated ns/op growth (0.25 = +25%)")
+	minNs := fs.Int64("min-ns", 0, "exempt figures whose baseline ns/op is at or below this from the timing gate")
+	requireChecks := fs.Bool("require-checks", false, "fail when deterministic check values diverge from the baseline")
+	canonical := fs.Bool("canonical", false, "fail unless both reports' deterministic cores are byte-identical")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [flags] baseline.json current.json")
+	}
+	base, err := benchreport.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := benchreport.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	res, err := benchreport.Compare(base, cur, *maxRegress, *minNs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline %s (seed %d, %s/%s, %d workers) vs current %s (seed %d, %s/%s, %d workers)\n",
+		fs.Arg(0), base.Seed, base.Env.GOOS, base.Env.GOARCH, base.Env.Workers,
+		fs.Arg(1), cur.Seed, cur.Env.GOOS, cur.Env.GOARCH, cur.Env.Workers)
+	for _, d := range res.Regressions {
+		fmt.Fprintf(w, "REGRESSION %-16s %d -> %d ns/op (%.2fx, tolerance %.2fx)\n",
+			d.Figure, d.BaseNs, d.CurNs, d.Ratio, 1+*maxRegress)
+	}
+	for _, d := range res.Improvements {
+		fmt.Fprintf(w, "improved   %-16s %d -> %d ns/op (%.2fx)\n", d.Figure, d.BaseNs, d.CurNs, d.Ratio)
+	}
+	for _, name := range res.Missing {
+		fmt.Fprintf(w, "MISSING    %s (in baseline, absent from current)\n", name)
+	}
+	for _, name := range res.Added {
+		fmt.Fprintf(w, "added      %s (no baseline)\n", name)
+	}
+	for _, name := range res.ChecksDiverged {
+		fmt.Fprintf(w, "checks diverged: %s\n", name)
+	}
+
+	failed := !res.OK()
+	if *requireChecks && len(res.ChecksDiverged) > 0 {
+		failed = true
+	}
+	if *canonical {
+		same, err := canonicalEqual(base, cur)
+		if err != nil {
+			return err
+		}
+		if same {
+			fmt.Fprintf(w, "canonical cores identical\n")
+		} else {
+			fmt.Fprintf(w, "CANONICAL cores differ\n")
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("gate failed")
+	}
+	fmt.Fprintf(w, "gate passed\n")
+	return nil
+}
+
+// canonicalEqual byte-compares the two reports' deterministic cores.
+func canonicalEqual(a, b *benchreport.Report) (bool, error) {
+	var ab, bb bytes.Buffer
+	if err := benchreport.Encode(&ab, a.Canonical()); err != nil {
+		return false, err
+	}
+	if err := benchreport.Encode(&bb, b.Canonical()); err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes()), nil
+}

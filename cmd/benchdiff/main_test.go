@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"concilium/internal/benchreport"
+)
+
+func writeReport(t *testing.T, dir, name string, mutate func(*benchreport.Report)) string {
+	t.Helper()
+	r := benchreport.New("bench", 7, "small")
+	r.Figures = []benchreport.Figure{
+		{
+			Name:   "fig1",
+			Checks: map[string]float64{"max_mean_error": 0.05},
+			Timing: benchreport.Timing{WallNs: 1000000, NsPerOp: 1000000, Ops: 1},
+		},
+		{
+			Name:   "chaos-short",
+			Checks: map[string]float64{"sent": 40, "invariants_ok": 1},
+			Timing: benchreport.Timing{WallNs: 2000000, NsPerOp: 2000000, Ops: 1},
+		},
+	}
+	if mutate != nil {
+		mutate(r)
+	}
+	path := filepath.Join(dir, name)
+	if err := benchreport.WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures[0].Timing.NsPerOp = 1100000 // +10%, inside tolerance
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{base, cur}); err != nil {
+		t.Fatalf("gate failed unexpectedly: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate passed") {
+		t.Errorf("output missing pass marker:\n%s", buf.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures[0].Timing.NsPerOp = 2000000 // 2x
+	})
+	var buf bytes.Buffer
+	err := run(&buf, []string{base, cur})
+	if err == nil {
+		t.Fatalf("gate passed despite 2x regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION fig1") {
+		t.Errorf("output missing regression line:\n%s", buf.String())
+	}
+}
+
+func TestMinNsExemptsNoisyFigures(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures[0].Timing.NsPerOp = 2000000 // 2x, but under the floor
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-min-ns", "5000000", base, cur}); err != nil {
+		t.Fatalf("noise-floor exemption did not apply: %v\n%s", err, buf.String())
+	}
+}
+
+func TestGateFailsOnMissingFigure(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures = r.Figures[:1] // drop chaos-short
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{base, cur}); err == nil {
+		t.Fatalf("gate passed despite dropped benchmark:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "MISSING    chaos-short") {
+		t.Errorf("output missing MISSING line:\n%s", buf.String())
+	}
+}
+
+func TestRequireChecks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures[0].Checks["max_mean_error"] = 0.9
+	})
+	// Default gate: divergence is reported, not fatal.
+	var buf bytes.Buffer
+	if err := run(&buf, []string{base, cur}); err != nil {
+		t.Fatalf("default gate failed on check divergence: %v", err)
+	}
+	if !strings.Contains(buf.String(), "checks diverged: fig1") {
+		t.Errorf("divergence not reported:\n%s", buf.String())
+	}
+	// Strict mode: fatal.
+	buf.Reset()
+	if err := run(&buf, []string{"-require-checks", base, cur}); err == nil {
+		t.Fatal("-require-checks passed despite divergence")
+	}
+}
+
+func TestCanonicalMode(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	// Different timing + env, identical deterministic core.
+	same := writeReport(t, dir, "same.json", func(r *benchreport.Report) {
+		r.Figures[0].Timing.NsPerOp = 1200000
+		r.Env.Workers = 8
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-canonical", base, same}); err != nil {
+		t.Fatalf("canonical gate failed on identical cores: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "canonical cores identical") {
+		t.Errorf("output missing canonical marker:\n%s", buf.String())
+	}
+
+	diff := writeReport(t, dir, "diff.json", func(r *benchreport.Report) {
+		r.Figures[0].Checks["max_mean_error"] = 0.06
+	})
+	buf.Reset()
+	if err := run(&buf, []string{"-canonical", base, diff}); err == nil {
+		t.Fatalf("canonical gate passed despite diverged cores:\n%s", buf.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"only-one.json"}); err == nil {
+		t.Error("single argument accepted")
+	}
+	if err := run(&buf, []string{"/nonexistent/a.json", "/nonexistent/b.json"}); err == nil {
+		t.Error("unreadable baseline accepted")
+	}
+}

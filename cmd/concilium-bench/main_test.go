@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"concilium/internal/benchreport"
+	"concilium/internal/metrics"
 )
 
 func TestRunFig1(t *testing.T) {
@@ -100,5 +105,83 @@ func TestRunExtensionFig9(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "consensus") {
 		t.Error("fig 9 missing consensus table")
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "1", "-scale", "small", "-seed", "3", "-json", path}); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	rep, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 3 || rep.Scale != "small" {
+		t.Errorf("header wrong: seed=%d scale=%q", rep.Seed, rep.Scale)
+	}
+	fig := rep.Figure("fig1")
+	if fig == nil || fig.Checks["max_mean_error"] <= 0 || fig.Timing.WallNs <= 0 {
+		t.Errorf("fig1 entry malformed: %+v", fig)
+	}
+	chaos := rep.Figure("chaos-short")
+	if chaos == nil || chaos.Checks["invariants_ok"] != 1 {
+		t.Errorf("chaos-short entry malformed: %+v", chaos)
+	}
+	// The embedded metrics snapshot must be canonical and populated.
+	if rep.Metrics.Counters["core/messages_sent"] == 0 {
+		t.Errorf("metrics snapshot empty: %v", rep.Metrics.CounterNames())
+	}
+	for _, name := range rep.Metrics.CounterNames() {
+		if metrics.NonDeterministic(name) {
+			t.Errorf("non-deterministic %q leaked into canonical metrics", name)
+		}
+	}
+}
+
+// TestRunJSONWorkerInvariance is the acceptance check: reports from
+// -workers 1 and -workers 4 must have byte-identical deterministic
+// cores.
+func TestRunJSONWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	report := func(workers string) *benchreport.Report {
+		path := filepath.Join(dir, "bench-w"+workers+".json")
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-fig", "1", "-scale", "small", "-seed", "7", "-workers", workers, "-json", path}); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, buf.String())
+		}
+		rep, err := benchreport.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	var serial, parallel bytes.Buffer
+	if err := benchreport.Encode(&serial, report("1").Canonical()); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchreport.Encode(&parallel, report("4").Canonical()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("canonical cores differ across worker counts:\n%s\nvs\n%s", serial.Bytes(), parallel.Bytes())
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "1", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

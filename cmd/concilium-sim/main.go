@@ -11,12 +11,17 @@ import (
 	"io"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"time"
 
 	"concilium/internal/baseline"
+	"concilium/internal/benchreport"
 	"concilium/internal/chaos"
 	"concilium/internal/core"
 	"concilium/internal/id"
+	"concilium/internal/metrics"
+	"concilium/internal/parexec"
+	"concilium/internal/profiling"
 	"concilium/internal/topology"
 	"concilium/internal/trace"
 )
@@ -39,13 +44,49 @@ func run(w io.Writer, args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size for parallel system construction (0 = GOMAXPROCS); results are identical for any value")
 	chaosMode := fs.Bool("chaos", false, "run the chaos-injection campaign instead of the baseline simulation")
 	chaosDuration := fs.String("duration", "short", "chaos campaign length: short or long")
+	jsonPath := fs.String("json", "", "write a machine-readable bench report to this path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write an allocs-space heap profile to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	if *chaosMode {
-		return runChaos(w, *seed, *workers, *chaosDuration)
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	if err != nil {
+		return err
 	}
+	if *chaosMode {
+		err = runChaos(w, *seed, *workers, *chaosDuration, *jsonPath)
+	} else {
+		err = runSim(w, simOpts{
+			seed: *seed, messages: *messages, malicious: *malicious,
+			warmup: *duration, scale: *scale, traceN: *traceN,
+			workers: *workers, jsonPath: *jsonPath,
+		})
+	}
+	if cerr := stopCPU(); err == nil {
+		err = cerr
+	}
+	if merr := profiling.WriteHeap(*memProfile); err == nil {
+		err = merr
+	}
+	return err
+}
+
+// simOpts carries the baseline simulation's flag values.
+type simOpts struct {
+	seed      uint64
+	messages  int
+	malicious float64
+	warmup    time.Duration
+	scale     string
+	traceN    int
+	workers   int
+	jsonPath  string
+}
+
+func runSim(w io.Writer, o simOpts) error {
+	seed, messages, malicious := &o.seed, &o.messages, &o.malicious
+	duration, scale, traceN, workers := &o.warmup, &o.scale, &o.traceN, &o.workers
 
 	cfg := core.DefaultSystemConfig()
 	switch *scale {
@@ -61,6 +102,9 @@ func run(w io.Writer, args []string) error {
 	cfg.MaliciousFraction = *malicious
 	cfg.ArchiveRetention = 5 * time.Minute
 	cfg.Workers = *workers
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	startWall := time.Now()
 
 	var ring *trace.Ring
 	counter := trace.NewCounter()
@@ -182,13 +226,75 @@ func run(w io.Writer, args []string) error {
 			fmt.Fprintln(w, " ", e)
 		}
 	}
+	if o.jsonPath != "" {
+		wall := time.Since(startWall)
+		report := newReport(*seed, *scale, *workers)
+		report.SetSnapshot(reg.Snapshot())
+		report.Figures = []benchreport.Figure{{
+			Name: "simulation",
+			Checks: map[string]float64{
+				"sent":            float64(stats.sent),
+				"delivered":       float64(stats.delivered),
+				"node_drops":      float64(stats.nodeDrops),
+				"link_drops":      float64(stats.linkDrops),
+				"ack_drops":       float64(stats.ackDrops),
+				"culprit_right":   float64(stats.culpritRight),
+				"culprit_wrong":   float64(stats.culpritWrong),
+				"verified_chains": float64(stats.verified),
+			},
+			Timing: benchreport.Timing{
+				WallNs:  wall.Nanoseconds(),
+				NsPerOp: perOp(wall.Nanoseconds(), int64(stats.sent)),
+				Ops:     int64(stats.sent),
+			},
+		}}
+		if err := writeReport(w, o.jsonPath, report); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// newReport builds a report shell with the host environment filled in.
+func newReport(seed uint64, scale string, workers int) *benchreport.Report {
+	report := benchreport.New("concilium-sim", seed, scale)
+	report.Env = benchreport.Env{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Workers:       parexec.Workers(workers),
+		Cmd:           "concilium-sim",
+	}
+	return report
+}
+
+// writeReport folds the verify-cache wall gauges into the report and
+// writes it to path.
+func writeReport(w io.Writer, path string, report *benchreport.Report) error {
+	wm, err := metrics.Merge(report.WallMetrics, benchreport.VerifyCacheSnapshot())
+	if err != nil {
+		return err
+	}
+	report.WallMetrics = wm
+	if err := benchreport.WriteFile(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench report written to %s\n", path)
+	return nil
+}
+
+func perOp(wallNs, ops int64) int64 {
+	if ops <= 0 {
+		return wallNs
+	}
+	return wallNs / ops
 }
 
 // runChaos executes a seeded chaos campaign and prints its invariant
 // report. A violated invariant is a nonzero exit, so CI can gate on
 // the campaign directly.
-func runChaos(w io.Writer, seed uint64, workers int, duration string) error {
+func runChaos(w io.Writer, seed uint64, workers int, duration, jsonPath string) error {
 	var cfg chaos.Config
 	switch duration {
 	case "short":
@@ -200,13 +306,44 @@ func runChaos(w io.Writer, seed uint64, workers int, duration string) error {
 	}
 	cfg.Workers = workers
 	fmt.Fprintf(w, "running %s chaos campaign (seed=%d)...\n", duration, seed)
+	start := time.Now()
 	rep, err := chaos.Run(cfg)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 	fmt.Fprint(w, rep.String())
+	if jsonPath != "" {
+		report := newReport(seed, duration, workers)
+		report.Metrics = rep.Metrics
+		report.Figures = []benchreport.Figure{{
+			Name: "chaos-" + duration,
+			Checks: map[string]float64{
+				"sent":           float64(rep.Sent),
+				"delivered":      float64(rep.Delivered),
+				"convictions":    float64(rep.Convictions),
+				"chains_fetched": float64(rep.ChainsFetched),
+				"invariants_ok":  boolToF(rep.Passed()),
+			},
+			Timing: benchreport.Timing{
+				WallNs:  wall.Nanoseconds(),
+				NsPerOp: perOp(wall.Nanoseconds(), int64(rep.Sent)),
+				Ops:     int64(rep.Sent),
+			},
+		}}
+		if err := writeReport(w, jsonPath, report); err != nil {
+			return err
+		}
+	}
 	if !rep.Passed() {
 		return fmt.Errorf("chaos campaign violated invariants")
 	}
 	return nil
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

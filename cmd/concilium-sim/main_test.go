@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"concilium/internal/benchreport"
 )
 
 func TestRunSmallSimulation(t *testing.T) {
@@ -97,5 +101,63 @@ func TestRunChaosRejectsBadDuration(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"-chaos", "-duration", "eternal"}); err == nil {
 		t.Error("unknown chaos duration accepted")
+	}
+}
+
+func TestRunSimJSONReport(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "sim.json")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-scale", "small", "-messages", "30", "-warmup", "2m", "-seed", "9", "-json", path})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "bench report written to") {
+		t.Errorf("missing report confirmation:\n%s", buf.String())
+	}
+	rep, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := rep.Figure("simulation")
+	if fig == nil || fig.Checks["sent"] <= 0 || fig.Timing.WallNs <= 0 {
+		t.Errorf("simulation figure malformed: %+v", fig)
+	}
+	if rep.Metrics.Counters["core/messages_sent"] == 0 {
+		t.Errorf("metrics snapshot empty: %v", rep.Metrics.CounterNames())
+	}
+}
+
+func TestRunChaosJSONReport(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-chaos", "-seed", "1", "-duration", "short", "-json", path})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	rep, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := rep.Figure("chaos-short")
+	if fig == nil || fig.Checks["invariants_ok"] != 1 || fig.Checks["sent"] <= 0 {
+		t.Errorf("chaos figure malformed: %+v", fig)
+	}
+}
+
+func TestRunSimProfileFlags(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-scale", "small", "-messages", "10", "-warmup", "2m", "-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

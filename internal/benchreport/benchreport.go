@@ -1,0 +1,355 @@
+// Package benchreport defines the machine-readable benchmark report
+// emitted by concilium-bench and concilium-sim in -json mode and
+// consumed by cmd/benchdiff and the CI bench gate.
+//
+// A report splits cleanly into two parts:
+//
+//   - The deterministic core — seed, scale, per-figure check values, and
+//     the canonical metrics snapshot. For a fixed seed this part is
+//     bit-identical across worker counts, machines, and Go versions;
+//     Canonical() reduces a report to exactly this part so callers can
+//     byte-compare two runs.
+//   - The timing envelope — wall-clock durations, ns/op, allocs/op,
+//     speedup versus the serial run, and the host fingerprint. This part
+//     varies run to run and is what benchdiff's regression gate compares
+//     with a tolerance.
+//
+// Schema evolution: Version bumps on any incompatible change to the
+// JSON layout; Decode rejects reports whose schema string or version it
+// does not understand, so a stale BENCH_baseline.json fails loudly
+// rather than comparing garbage.
+package benchreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"concilium/internal/metrics"
+	"concilium/internal/sigcrypto"
+)
+
+// Schema identifies the report format; Version is its revision.
+const (
+	Schema  = "concilium/bench-report"
+	Version = 1
+)
+
+// Timing is one figure's performance envelope — all wall-clock derived,
+// none of it deterministic.
+type Timing struct {
+	// WallNs is the figure's total wall-clock time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// NsPerOp is wall time divided by the figure's operation count
+	// (trials for experiment figures, messages for traffic figures).
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocation counts and bytes
+	// per operation, from runtime.MemStats deltas.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// SpeedupX is wall time of the serial (workers=1) reference run
+	// divided by this run's wall time; 0 when no reference ran.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+	// Ops is the operation count NsPerOp was computed over.
+	Ops int64 `json:"ops"`
+}
+
+// Figure is one benchmarked unit of work — a paper figure in
+// concilium-bench, a simulation phase in concilium-sim.
+type Figure struct {
+	Name string `json:"name"`
+	// Checks are the figure's deterministic headline values (max mean
+	// error, detection probabilities, minimal m, ...): a fingerprint of
+	// the computation's result, invariant across worker counts.
+	Checks map[string]float64 `json:"checks,omitempty"`
+	Timing Timing             `json:"timing"`
+}
+
+// Env fingerprints the host and configuration a report was produced
+// under — context for interpreting the timing envelope.
+type Env struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	Workers       int    `json:"workers"`
+	Cmd           string `json:"cmd"`
+}
+
+// Report is a full benchmark report.
+type Report struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+
+	// Deterministic core.
+	Seed    uint64           `json:"seed"`
+	Scale   string           `json:"scale,omitempty"`
+	Figures []Figure         `json:"figures"`
+	Metrics metrics.Snapshot `json:"metrics"`
+
+	// Timing envelope.
+	Env Env `json:"env"`
+	// WallMetrics holds the reserved non-deterministic metric series
+	// (the "_wallns"/"_nondet" classes), kept out of Metrics so the
+	// deterministic core stays byte-comparable.
+	WallMetrics metrics.Snapshot `json:"wall_metrics,omitempty"`
+}
+
+// New returns a report shell with the schema header filled in.
+func New(cmd string, seed uint64, scale string) *Report {
+	return &Report{
+		Schema:  Schema,
+		Version: Version,
+		Seed:    seed,
+		Scale:   scale,
+		Env:     Env{Cmd: cmd},
+	}
+}
+
+// SetSnapshot splits a registry snapshot into the report's
+// deterministic core and wall envelope.
+func (r *Report) SetSnapshot(s metrics.Snapshot) {
+	r.Metrics = s.Canonical()
+	r.WallMetrics = s.Wall()
+}
+
+// Validate reports the first structural problem: wrong schema or
+// version, unnamed or duplicate figures, or non-deterministic series
+// leaked into the canonical metrics.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchreport: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Version != Version {
+		return fmt.Errorf("benchreport: version %d, want %d", r.Version, Version)
+	}
+	seen := make(map[string]bool, len(r.Figures))
+	for i, f := range r.Figures {
+		if f.Name == "" {
+			return fmt.Errorf("benchreport: figure %d has no name", i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("benchreport: duplicate figure %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, names := range [][]string{r.Metrics.CounterNames(), r.Metrics.GaugeNames(), r.Metrics.HistogramNames()} {
+		for _, name := range names {
+			if metrics.NonDeterministic(name) {
+				return fmt.Errorf("benchreport: non-deterministic series %q in canonical metrics", name)
+			}
+		}
+	}
+	return nil
+}
+
+// Canonical returns only the deterministic core: the timing envelope,
+// host fingerprint, and wall metrics are zeroed, and each figure keeps
+// its name and checks. Two runs of the same seed at different worker
+// counts must produce byte-identical Encode output of their Canonical
+// reports.
+func (r *Report) Canonical() *Report {
+	out := &Report{
+		Schema:  r.Schema,
+		Version: r.Version,
+		Seed:    r.Seed,
+		Scale:   r.Scale,
+		Metrics: r.Metrics.Canonical(),
+	}
+	for _, f := range r.Figures {
+		cf := Figure{Name: f.Name}
+		if len(f.Checks) > 0 {
+			cf.Checks = make(map[string]float64, len(f.Checks))
+			for k, v := range f.Checks {
+				cf.Checks[k] = v
+			}
+		}
+		out.Figures = append(out.Figures, cf)
+	}
+	return out
+}
+
+// Figure returns the named figure, or nil.
+func (r *Report) Figure(name string) *Figure {
+	for i := range r.Figures {
+		if r.Figures[i].Name == name {
+			return &r.Figures[i]
+		}
+	}
+	return nil
+}
+
+// Encode writes the report as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so equal reports encode to identical
+// bytes.
+func Encode(w io.Writer, r *Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile encodes the report to path.
+func WriteFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes and validates the report at path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Decode reads and validates a report.
+func Decode(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchreport: decode: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// VerifyCacheSnapshot freezes the global Ed25519 verify-cache counters
+// as reserved non-deterministic gauges: the cache is process-wide and
+// its hit pattern depends on goroutine scheduling, so these series can
+// never enter a canonical snapshot.
+func VerifyCacheSnapshot() metrics.Snapshot {
+	hits, misses, size := sigcrypto.VerifyCacheStats()
+	reg := metrics.NewRegistry()
+	reg.Gauge("sigcrypto/verify_cache_hits_nondet").Set(int64(hits))
+	reg.Gauge("sigcrypto/verify_cache_misses_nondet").Set(int64(misses))
+	reg.Gauge("sigcrypto/verify_cache_size_nondet").Set(int64(size))
+	return reg.Snapshot().Wall()
+}
+
+// Delta is one figure's timing movement between a baseline and a
+// current report.
+type Delta struct {
+	Figure string
+	BaseNs int64
+	CurNs  int64
+	// Ratio is CurNs/BaseNs; 1.30 means 30% slower than baseline.
+	Ratio float64
+}
+
+// CompareResult is the outcome of gating a current report against a
+// baseline.
+type CompareResult struct {
+	// Regressions are figures whose ns/op grew beyond the tolerance.
+	Regressions []Delta
+	// Improvements are figures whose ns/op shrank beyond the same
+	// tolerance (informational — a candidate for refreshing the
+	// baseline).
+	Improvements []Delta
+	// Missing are baseline figures absent from the current report — a
+	// silently dropped benchmark fails the gate like a regression.
+	Missing []string
+	// Added are current figures with no baseline (informational).
+	Added []string
+	// ChecksDiverged lists figures whose deterministic check values
+	// differ from the baseline's — for equal seeds this means behavior
+	// changed, which a pure performance gate should surface loudly.
+	ChecksDiverged []string
+}
+
+// OK reports whether the gate passes: no regressions and no missing
+// figures. Check divergence is reported but does not fail the gate —
+// intentional behavior changes legitimately move check values, and the
+// diff output makes the reviewer confirm that on the PR.
+func (c *CompareResult) OK() bool {
+	return len(c.Regressions) == 0 && len(c.Missing) == 0
+}
+
+// Compare gates cur against base: any figure whose ns/op grew by more
+// than maxRegress (0.25 = +25%) is a regression. Figures whose baseline
+// ns/op is at or below minNs are exempt from the timing gate (they are
+// noise-dominated: a 15 ms figure legitimately jitters past any
+// percentage tolerance) but still checked for presence and check-value
+// divergence. Figures with a zero baseline ns/op are always skipped.
+func Compare(base, cur *Report, maxRegress float64, minNs int64) (*CompareResult, error) {
+	if maxRegress <= 0 {
+		return nil, fmt.Errorf("benchreport: max regress %v must be positive", maxRegress)
+	}
+	res := &CompareResult{}
+	curByName := make(map[string]*Figure, len(cur.Figures))
+	for i := range cur.Figures {
+		curByName[cur.Figures[i].Name] = &cur.Figures[i]
+	}
+	for _, bf := range base.Figures {
+		cf, ok := curByName[bf.Name]
+		if !ok {
+			res.Missing = append(res.Missing, bf.Name)
+			continue
+		}
+		if !checksEqual(bf.Checks, cf.Checks) {
+			res.ChecksDiverged = append(res.ChecksDiverged, bf.Name)
+		}
+		if bf.Timing.NsPerOp <= 0 || cf.Timing.NsPerOp <= 0 || bf.Timing.NsPerOp <= minNs {
+			continue
+		}
+		d := Delta{
+			Figure: bf.Name,
+			BaseNs: bf.Timing.NsPerOp,
+			CurNs:  cf.Timing.NsPerOp,
+			Ratio:  float64(cf.Timing.NsPerOp) / float64(bf.Timing.NsPerOp),
+		}
+		switch {
+		case d.Ratio > 1+maxRegress:
+			res.Regressions = append(res.Regressions, d)
+		case d.Ratio < 1/(1+maxRegress):
+			res.Improvements = append(res.Improvements, d)
+		}
+	}
+	baseNames := make(map[string]bool, len(base.Figures))
+	for _, bf := range base.Figures {
+		baseNames[bf.Name] = true
+	}
+	for _, cf := range cur.Figures {
+		if !baseNames[cf.Name] {
+			res.Added = append(res.Added, cf.Name)
+		}
+	}
+	sort.Strings(res.Missing)
+	sort.Strings(res.Added)
+	sort.Strings(res.ChecksDiverged)
+	sort.Slice(res.Regressions, func(i, j int) bool { return res.Regressions[i].Figure < res.Regressions[j].Figure })
+	sort.Slice(res.Improvements, func(i, j int) bool { return res.Improvements[i].Figure < res.Improvements[j].Figure })
+	return res, nil
+}
+
+func checksEqual(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

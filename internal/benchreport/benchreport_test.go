@@ -1,0 +1,284 @@
+package benchreport
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"concilium/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleReport builds a fully-populated, fixed report. Every field is
+// pinned so the encoding is stable — this is what the golden file locks.
+func sampleReport() *Report {
+	reg := metrics.NewRegistry()
+	reg.Counter("wire/message_bytes").Add(4096)
+	reg.Counter("core/msgs_sent").Add(10)
+	reg.Gauge("netsim/links_down_highwater").Set(3)
+	reg.MustHistogram("core/chain_len", []int64{1, 2, 4}).Observe(3)
+	reg.Counter("core/blame_wallns").Add(123456)
+	reg.Gauge("sigcrypto/verify_cache_hits_nondet").Set(17)
+
+	r := New("concilium-bench", 42, "small")
+	r.SetSnapshot(reg.Snapshot())
+	r.Figures = []Figure{
+		{
+			Name:   "fig1",
+			Checks: map[string]float64{"max_mean_error": 0.03125},
+			Timing: Timing{WallNs: 1500000, NsPerOp: 1500, AllocsPerOp: 12, BytesPerOp: 768, SpeedupX: 3.5, Ops: 1000},
+		},
+		{
+			Name:   "chaos-short",
+			Checks: map[string]float64{"sent": 40, "delivered": 37, "invariants_ok": 1},
+			Timing: Timing{WallNs: 500000000, NsPerOp: 12500000, Ops: 40},
+		},
+	}
+	r.Env = Env{
+		GeneratedUnix: 1754400000,
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		Workers:       8,
+		Cmd:           "concilium-bench",
+	}
+	return r
+}
+
+// TestGoldenReport locks the on-disk JSON schema: any change to field
+// names, nesting, or encoding order breaks this test and must come with
+// a schema Version bump (and a regenerated golden via -update).
+func TestGoldenReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_v1.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report encoding drifted from golden schema.\ngot:\n%s\nwant:\n%s\n(bump Version and regenerate with -update if intentional)", buf.Bytes(), want)
+	}
+	// The golden file itself must decode and validate.
+	r, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed != 42 || len(r.Figures) != 2 || r.Figure("fig1") == nil {
+		t.Fatalf("golden decoded wrong: %+v", r)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := sampleReport()
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if err := Encode(&b2, back); err != nil {
+		t.Fatal(err)
+	}
+	var b1 bytes.Buffer
+	if err := Encode(&b1, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("round trip not byte-stable")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := func() *Report { return sampleReport() }
+
+	r := good()
+	r.Schema = "other/schema"
+	if err := r.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	r = good()
+	r.Version = Version + 1
+	if err := r.Validate(); err == nil {
+		t.Error("wrong version accepted")
+	}
+	r = good()
+	r.Figures = append(r.Figures, Figure{Name: "fig1"})
+	if err := r.Validate(); err == nil {
+		t.Error("duplicate figure accepted")
+	}
+	r = good()
+	r.Figures[0].Name = ""
+	if err := r.Validate(); err == nil {
+		t.Error("unnamed figure accepted")
+	}
+	r = good()
+	r.Metrics.Counters = map[string]uint64{"leaked_wallns": 1}
+	if err := r.Validate(); err == nil {
+		t.Error("non-deterministic series in canonical metrics accepted")
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndStaleSchema(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema":"concilium/bench-report","version":1,"seed":1,"figures":[],"metrics":{},"env":{},"surprise":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"schema":"concilium/bench-report","version":99,"seed":1,"figures":[],"metrics":{},"env":{}}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestCanonicalStripsTimingEnvelope(t *testing.T) {
+	r := sampleReport()
+	c := r.Canonical()
+	if c.Env != (Env{}) {
+		t.Errorf("canonical kept env: %+v", c.Env)
+	}
+	if len(c.WallMetrics.Gauges) != 0 || len(c.WallMetrics.Counters) != 0 {
+		t.Errorf("canonical kept wall metrics: %+v", c.WallMetrics)
+	}
+	for _, f := range c.Figures {
+		if f.Timing != (Timing{}) {
+			t.Errorf("canonical kept timing for %s: %+v", f.Name, f.Timing)
+		}
+	}
+	if c.Figure("fig1").Checks["max_mean_error"] != 0.03125 {
+		t.Error("canonical dropped checks")
+	}
+	if c.Seed != r.Seed || c.Scale != r.Scale {
+		t.Error("canonical dropped seed/scale")
+	}
+	// Two structurally-equal canonical reports encode identically.
+	var b1, b2 bytes.Buffer
+	if err := Encode(&b1, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b2, sampleReport().Canonical()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("canonical encoding not byte-stable")
+	}
+}
+
+func TestSetSnapshotSplits(t *testing.T) {
+	r := sampleReport()
+	if _, ok := r.Metrics.Counters["core/blame_wallns"]; ok {
+		t.Error("wall series leaked into canonical metrics")
+	}
+	if _, ok := r.WallMetrics.Counters["core/blame_wallns"]; !ok {
+		t.Error("wall series missing from wall metrics")
+	}
+	if _, ok := r.Metrics.Counters["wire/message_bytes"]; !ok {
+		t.Error("canonical series missing")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func timingFig(name string, ns int64, checks map[string]float64) Figure {
+	return Figure{Name: name, Checks: checks, Timing: Timing{WallNs: ns, NsPerOp: ns, Ops: 1}}
+}
+
+func TestCompare(t *testing.T) {
+	base := New("bench", 1, "small")
+	base.Figures = []Figure{
+		timingFig("steady", 1000, map[string]float64{"v": 1}),
+		timingFig("slower", 1000, nil),
+		timingFig("faster", 1000, nil),
+		timingFig("dropped", 1000, nil),
+		timingFig("noisy", 50, nil),
+		timingFig("diverged", 1000, map[string]float64{"v": 1}),
+	}
+	cur := New("bench", 1, "small")
+	cur.Figures = []Figure{
+		timingFig("steady", 1100, map[string]float64{"v": 1}),
+		timingFig("slower", 1400, nil),
+		timingFig("faster", 500, nil),
+		timingFig("noisy", 5000, nil), // 100x, but under the min-ns floor
+		timingFig("diverged", 1000, map[string]float64{"v": 2}),
+		timingFig("brandnew", 1000, nil),
+	}
+	res, err := Compare(base, cur, 0.25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 || res.Regressions[0].Figure != "slower" {
+		t.Errorf("regressions = %+v, want [slower]", res.Regressions)
+	}
+	if res.Regressions[0].Ratio != 1.4 {
+		t.Errorf("ratio = %v, want 1.4", res.Regressions[0].Ratio)
+	}
+	if len(res.Improvements) != 1 || res.Improvements[0].Figure != "faster" {
+		t.Errorf("improvements = %+v, want [faster]", res.Improvements)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "dropped" {
+		t.Errorf("missing = %v, want [dropped]", res.Missing)
+	}
+	if len(res.Added) != 1 || res.Added[0] != "brandnew" {
+		t.Errorf("added = %v, want [brandnew]", res.Added)
+	}
+	if len(res.ChecksDiverged) != 1 || res.ChecksDiverged[0] != "diverged" {
+		t.Errorf("checks diverged = %v, want [diverged]", res.ChecksDiverged)
+	}
+	if res.OK() {
+		t.Error("gate passed despite regression and missing figure")
+	}
+
+	// Same reports within tolerance pass.
+	res2, err := Compare(base, base, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.OK() || len(res2.Regressions)+len(res2.Improvements)+len(res2.ChecksDiverged) != 0 {
+		t.Errorf("self-compare not clean: %+v", res2)
+	}
+
+	if _, err := Compare(base, cur, 0, 0); err == nil {
+		t.Error("non-positive tolerance accepted")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := WriteFile(path, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Env.Workers != 8 || r.Figure("chaos-short") == nil {
+		t.Fatalf("read back wrong: %+v", r)
+	}
+}
+
+func TestVerifyCacheSnapshotIsWallOnly(t *testing.T) {
+	s := VerifyCacheSnapshot()
+	if len(s.Gauges) != 3 {
+		t.Fatalf("gauges = %v, want 3 series", s.GaugeNames())
+	}
+	for _, name := range s.GaugeNames() {
+		if !metrics.NonDeterministic(name) {
+			t.Errorf("verify-cache series %q not reserved non-deterministic", name)
+		}
+	}
+	if !s.Canonical().Equal(metrics.Snapshot{}) {
+		t.Error("verify-cache snapshot leaks into canonical")
+	}
+}

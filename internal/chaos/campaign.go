@@ -9,6 +9,7 @@ import (
 	"concilium/internal/core"
 	"concilium/internal/dht"
 	"concilium/internal/id"
+	"concilium/internal/metrics"
 	"concilium/internal/parexec"
 )
 
@@ -28,6 +29,11 @@ type Campaign struct {
 
 	sched   *rand.Rand // fault-schedule substream
 	traffic *rand.Rand // traffic substream
+
+	// reg collects the campaign's metric series; the report keeps only
+	// the canonical (deterministic) part, so Report stays a pure
+	// function of the seed at every worker count.
+	reg *metrics.Registry
 
 	rep       Report
 	published map[id.ID]int // culprit -> chains successfully published
@@ -57,6 +63,8 @@ func newCampaign(cfg Config) (*Campaign, error) {
 	// schedule, and traffic pair selection never perturb each other, so
 	// episodes can be reordered or resized without rewriting history.
 	root := parexec.NewSeed(cfg.Seed, cfg.Seed^0x636f6e63696c6d73)
+	reg := metrics.NewRegistry()
+	cfg.System.Metrics = reg
 	sys, err := core.BuildSystem(cfg.System, root.Stream(0))
 	if err != nil {
 		return nil, err
@@ -65,11 +73,13 @@ func newCampaign(cfg Config) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.SetMetrics(reg)
 
 	c := &Campaign{
 		cfg:       cfg,
 		sys:       sys,
 		store:     store,
+		reg:       reg,
 		keyDir:    make(map[id.ID]ed25519.PublicKey, len(sys.Order)),
 		sched:     root.Stream(1),
 		traffic:   root.Stream(2),
@@ -87,6 +97,7 @@ func newCampaign(cfg Config) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.repo.SetMetrics(reg)
 	c.dtest, err = core.NewDensityTest(2.0)
 	if err != nil {
 		return nil, err
@@ -402,6 +413,9 @@ func (c *Campaign) finish() {
 	r.InjectorDeficit = c.sys.Injector.Deficit()
 	r.DownLinks = c.sys.Net.DownCount()
 	r.FinalNodes = len(c.sys.Order)
+	// Canonical only: wall-clock series would break the report's
+	// seed-determinism contract.
+	r.Metrics = c.reg.Snapshot().Canonical()
 
 	r.addInvariant("fault-kinds>=4", len(r.FaultKinds) >= 4,
 		fmt.Sprintf("%d kinds composed", len(r.FaultKinds)))

@@ -3,6 +3,8 @@ package chaos
 import (
 	"strings"
 	"testing"
+
+	"concilium/internal/metrics"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -133,5 +135,48 @@ func TestReportRendering(t *testing.T) {
 	s := r.String()
 	if !strings.Contains(s, "[FAIL] b") || !strings.Contains(s, "result: FAIL") {
 		t.Errorf("failure not rendered:\n%s", s)
+	}
+}
+
+func TestCampaignMetricsSnapshot(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(ShortConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot must be canonical: wall-clock series are stripped so
+	// the report stays deterministic for a fixed seed.
+	for _, names := range [][]string{
+		rep.Metrics.CounterNames(), rep.Metrics.GaugeNames(), rep.Metrics.HistogramNames(),
+	} {
+		for _, name := range names {
+			if metrics.NonDeterministic(name) {
+				t.Errorf("non-deterministic series %q in campaign metrics", name)
+			}
+		}
+	}
+	// Every instrumented subsystem must have left tracks.
+	for _, c := range []string{
+		"core/messages_sent", "core/probe_sweeps", "wire/message_bytes",
+		"wire/ack_bytes", "netsim/link_failures", "netsim/packets_delivered",
+		"dht/puts", "dht/chains_published", "wire/accusation_bytes",
+		"tomography/archive_records",
+	} {
+		if rep.Metrics.Counters[c] == 0 {
+			t.Errorf("counter %q is zero after a full campaign", c)
+		}
+	}
+	if rep.Metrics.Gauges["netsim/links_down_highwater"] == 0 {
+		t.Error("link-failure highwater gauge never set")
+	}
+	if rep.Metrics.Histograms["core/accusation_chain_len"].Count == 0 && rep.Metrics.Histograms["core/probe_rtt_ns"].Count == 0 {
+		t.Errorf("no histogram observations recorded: %v", rep.Metrics.HistogramNames())
+	}
+	// Cross-check: the metrics agree with the report's own counters.
+	if got := rep.Metrics.Counters["core/messages_sent"]; got != uint64(rep.Sent) {
+		t.Errorf("core/messages_sent = %d, report.Sent = %d", got, rep.Sent)
+	}
+	if got := rep.Metrics.Counters["dht/chains_published"]; got != uint64(rep.ChainsPublished) {
+		t.Errorf("dht/chains_published = %d, report.ChainsPublished = %d", got, rep.ChainsPublished)
 	}
 }

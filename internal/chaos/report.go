@@ -8,6 +8,7 @@ import (
 
 	"concilium/internal/core"
 	"concilium/internal/id"
+	"concilium/internal/metrics"
 	"concilium/internal/netsim"
 )
 
@@ -26,19 +27,24 @@ type Report struct {
 	FinalNodes int
 	FaultKinds []string
 
-	Sent, Delivered                              int
-	NodeDrops, LinkDrops, AckDrops, ChurnDrops   int
-	Diagnosed, Convictions, NetworkBlamed        int
-	HonestConvictions, DepartedConvictions       int
-	StaleSends, StaleConvictions                 int
-	ChainsPublished, ChainsFetched               int
-	PublishErrors, PutQuorumLost                 int
-	RoutingViolations, DensityViolations         int
-	RebalanceErrors                              int
-	DownLinks, InjectorTarget, InjectorDeficit   int
+	Sent, Delivered                            int
+	NodeDrops, LinkDrops, AckDrops, ChurnDrops int
+	Diagnosed, Convictions, NetworkBlamed      int
+	HonestConvictions, DepartedConvictions     int
+	StaleSends, StaleConvictions               int
+	ChainsPublished, ChainsFetched             int
+	PublishErrors, PutQuorumLost               int
+	RoutingViolations, DensityViolations       int
+	RebalanceErrors                            int
+	DownLinks, InjectorTarget, InjectorDeficit int
 
 	Counters core.SystemCounters
 	Injector netsim.InjectorStats
+
+	// Metrics is the campaign's canonical metrics snapshot — the
+	// wall-clock series are stripped, so the field is a pure function of
+	// the seed like the rest of the report.
+	Metrics metrics.Snapshot
 
 	Invariants []Invariant
 }
@@ -80,6 +86,10 @@ func (r *Report) String() string {
 		r.Counters.ChurnDrops, r.Counters.ChainsUnavailable)
 	fmt.Fprintf(&b, "injector: target=%d down=%d deficit=%d reinjected=%d saturated-skips=%d\n",
 		r.InjectorTarget, r.DownLinks, r.InjectorDeficit, r.Injector.Reinjected, r.Injector.SaturatedSkips)
+	fmt.Fprintf(&b, "metrics: %d counters, %d gauges, %d histograms (canonical); wire bytes: msg=%d ack=%d probe=%d accusation=%d\n",
+		len(r.Metrics.Counters), len(r.Metrics.Gauges), len(r.Metrics.Histograms),
+		r.Metrics.Counters["wire/message_bytes"], r.Metrics.Counters["wire/ack_bytes"],
+		r.Metrics.Counters["wire/probe_bytes"], r.Metrics.Counters["wire/accusation_bytes"])
 	fmt.Fprintf(&b, "invariants:\n")
 	for _, inv := range r.Invariants {
 		status := "ok"

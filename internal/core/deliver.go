@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"concilium/internal/id"
+	"concilium/internal/netsim"
 	"concilium/internal/overlay"
 	"concilium/internal/topology"
 	"concilium/internal/trace"
+	"concilium/internal/wiresize"
 )
 
 // DropKind classifies where a message (or its acknowledgment) died.
@@ -92,6 +95,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 		return nil, err
 	}
 	rep := &DeliveryReport{MsgID: srcNode.NextMsgID(), Route: route, Kind: DropNone}
+	s.met.msgsSent.Inc()
 	s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindMessageSent, Node: src, Peer: dst})
 	if len(route) == 1 {
 		rep.Delivered, rep.AckReceived = true, true
@@ -115,6 +119,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 	// reached is the index of the last node that received the message.
 	reached := 0
 	for i := 0; i+1 < len(route); i++ {
+		s.met.msgBytes.Add(wiresize.StewardedHop)
 		s.Run(s.Net.Latency(paths[i]))
 		if bad, down := s.Net.FirstDownLink(paths[i]); down {
 			rep.Kind = DropByLink
@@ -148,6 +153,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 	if rep.Delivered {
 		rep.AckReceived = true
 		for i := len(paths) - 1; i >= 0; i-- {
+			s.met.ackBytes.Add(wiresize.AckHop)
 			s.Run(s.Net.Latency(paths[i]))
 			if bad, down := s.Net.FirstDownLink(paths[i]); down {
 				rep.Kind = DropAckByLink
@@ -157,6 +163,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 			}
 		}
 		if rep.AckReceived {
+			s.met.msgsDelivered.Inc()
 			return rep, nil
 		}
 	}
@@ -183,7 +190,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 		if i+1 < len(paths) {
 			span = append(span, paths[i+1]...)
 		}
-		res, err := s.Engine.Blame(route[i+1], span, now)
+		res, err := s.timedBlame(route[i+1], span, now)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +251,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 		if vi+1 < len(paths) {
 			span = append(span, paths[vi+1]...)
 		}
-		res, err := s.Engine.Blame(judged, span, now)
+		res, err := s.timedBlame(judged, span, now)
 		if err != nil {
 			return nil, err
 		}
@@ -260,8 +267,23 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 		return nil, err
 	}
 	rep.Chain = chain
+	s.met.chainLen.Observe(int64(len(chain.Links)))
 	s.emit(trace.Event{At: now, Kind: trace.KindAccusation, Node: src, Peer: rep.Culprit})
 	return rep, nil
+}
+
+// timedBlame wraps the blame engine with metrics: call count, probes
+// consulted (deterministic), and wall-clock latency (the reserved
+// "_wallns" class, excluded from canonical snapshots).
+func (s *System) timedBlame(judged id.ID, span []topology.LinkID, at netsim.Time) (BlameResult, error) {
+	start := time.Now()
+	res, err := s.Engine.Blame(judged, span, at)
+	s.met.blameWall.ObserveDuration(time.Since(start))
+	if err == nil {
+		s.met.blameCalls.Inc()
+		s.met.blameProbes.Observe(int64(res.TotalProbes))
+	}
+	return res, err
 }
 
 // dropDetail names a drop kind for trace output.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"concilium/internal/id"
+	"concilium/internal/metrics"
 	"concilium/internal/netsim"
 	"concilium/internal/overlay"
 	"concilium/internal/parexec"
@@ -15,6 +16,7 @@ import (
 	"concilium/internal/tomography"
 	"concilium/internal/topology"
 	"concilium/internal/trace"
+	"concilium/internal/wiresize"
 )
 
 // SystemConfig assembles a complete simulated Concilium deployment.
@@ -50,6 +52,12 @@ type SystemConfig struct {
 	// Tracer receives structured protocol events (probes, verdicts,
 	// accusations, link churn). Nil disables tracing.
 	Tracer trace.Recorder
+	// Metrics receives the system's quantitative metrics (probe RTT
+	// histograms, blame latency, bytes on wire per message class).
+	// Nil discards them; the hot-path cost of a live registry is a few
+	// uncontended atomic adds per event, and every metric except the
+	// reserved wall-clock class is deterministic for a fixed seed.
+	Metrics *metrics.Registry
 	// Workers bounds the worker pool used for the parallelizable parts
 	// of system construction — per-node tomography-tree building, which
 	// consumes no randomness (<= 0 selects GOMAXPROCS). The built system
@@ -125,6 +133,7 @@ type System struct {
 	Counters SystemCounters
 
 	rng     stats.Rand
+	met     systemMetrics
 	probing bool
 	// lastPrune rate-limits archive pruning: a prune sweeps every link's
 	// record list, so doing it per probe would be quadratic in practice.
@@ -161,6 +170,41 @@ type SystemCounters struct {
 	ChainsUnavailable uint64
 }
 
+// systemMetrics caches the system's metric handles so the hot paths
+// pay only atomic adds, never registry map lookups. All handles are
+// nil (safe discards) when no registry is configured.
+type systemMetrics struct {
+	probeSweeps   *metrics.Counter
+	probeRTT      *metrics.Histogram
+	probeBytes    *metrics.Counter
+	snapshotBytes *metrics.Counter
+	msgsSent      *metrics.Counter
+	msgsDelivered *metrics.Counter
+	msgBytes      *metrics.Counter
+	ackBytes      *metrics.Counter
+	blameCalls    *metrics.Counter
+	blameWall     *metrics.Histogram
+	blameProbes   *metrics.Histogram
+	chainLen      *metrics.Histogram
+}
+
+func newSystemMetrics(r *metrics.Registry) systemMetrics {
+	return systemMetrics{
+		probeSweeps:   r.Counter("core/probe_sweeps"),
+		probeRTT:      r.MustHistogram("core/probe_rtt_ns", metrics.LatencyBuckets),
+		probeBytes:    r.Counter("wire/probe_bytes"),
+		snapshotBytes: r.Counter("wire/snapshot_bytes"),
+		msgsSent:      r.Counter("core/messages_sent"),
+		msgsDelivered: r.Counter("core/messages_delivered"),
+		msgBytes:      r.Counter("wire/message_bytes"),
+		ackBytes:      r.Counter("wire/ack_bytes"),
+		blameCalls:    r.Counter("core/blame_calls"),
+		blameWall:     r.MustHistogram("core/blame_wallns", metrics.LatencyBuckets),
+		blameProbes:   r.MustHistogram("core/blame_probes", metrics.CountBuckets),
+		chainLen:      r.MustHistogram("core/accusation_chain_len", metrics.CountBuckets),
+	}
+}
+
 // BuildSystem constructs the deployment deterministically from cfg and
 // rng: topology, certificates, routing state, and tomography trees. No
 // events are scheduled yet; call StartProbing and StartFailures, then
@@ -174,7 +218,7 @@ func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 		return nil, err
 	}
 	sim := netsim.NewSimulator()
-	var netOpts []netsim.NetworkOption
+	netOpts := []netsim.NetworkOption{netsim.WithMetrics(cfg.Metrics)}
 	if cfg.HopLatency > 0 {
 		netOpts = append(netOpts, netsim.WithHopLatency(cfg.HopLatency))
 	}
@@ -217,7 +261,9 @@ func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 		Nodes:   make(map[id.ID]*Node, nOverlay),
 		Archive: tomography.NewArchive(),
 		rng:     rng,
+		met:     newSystemMetrics(cfg.Metrics),
 	}
+	s.Archive.SetMetrics(cfg.Metrics)
 
 	members := make([]id.ID, 0, nOverlay)
 	for i := 0; i < nOverlay; i++ {
@@ -403,6 +449,13 @@ func (s *System) scheduleProbe(node *Node) error {
 		}
 		obs, err := tomography.ObserveLinks(s.Net, node.Tree.Links(), s.Config.Blame.ProbeAccuracy, s.rng)
 		if err == nil {
+			s.met.probeSweeps.Inc()
+			s.met.probeBytes.Add(uint64(len(obs) * wiresize.ProbePacket))
+			for i := range node.Tree.Leaves {
+				// Round trip to each leaf in virtual time: the sim-time
+				// probe-RTT distribution of this sweep.
+				s.met.probeRTT.ObserveDuration(2 * s.Net.Latency(node.Tree.Leaves[i].Path))
+			}
 			if s.Config.SignedSnapshots {
 				s.publishSnapshot(node, obs)
 			} else if err := s.Archive.Record(node.ID(), s.Sim.Now(), obs); err != nil {
@@ -444,6 +497,7 @@ func (s *System) publishSnapshot(node *Node, obs []tomography.LinkObservation) {
 		LeafSpacing:  spacing,
 	}
 	snap.Sign(node.Keys)
+	s.met.snapshotBytes.Add(uint64(wiresize.SnapshotBytes(len(obs))))
 	validator := &SnapshotValidator{Keys: s.Keys()}
 	if err := validator.Ingest(s.Archive, snap); err != nil {
 		s.emit(trace.Event{

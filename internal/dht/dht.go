@@ -10,8 +10,10 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"concilium/internal/id"
+	"concilium/internal/metrics"
 	"concilium/internal/overlay"
 )
 
@@ -26,6 +28,17 @@ type Store struct {
 	replicas int
 	nodes    map[id.ID]*nodeStore
 	faulty   map[id.ID]bool
+
+	met storeMetrics
+}
+
+// storeMetrics caches the store's metric handles; all nil (discard)
+// until SetMetrics is called with a live registry.
+type storeMetrics struct {
+	puts, gets       *metrics.Counter
+	putsDeg, getsDeg *metrics.Counter
+	putWall, getWall *metrics.Histogram
+	valueBytes       *metrics.Counter
 }
 
 type nodeStore struct {
@@ -54,6 +67,22 @@ func New(ring *overlay.Ring, replicas int) (*Store, error) {
 		s.nodes[m] = &nodeStore{values: make(map[id.ID][][]byte)}
 	}
 	return s, nil
+}
+
+// SetMetrics publishes the store's operation counters, degraded-op
+// counters, stored bytes, and wall-clock op latencies into reg (names
+// "dht/*"; latencies carry the reserved "_wallns" suffix). A nil
+// registry disables publication.
+func (s *Store) SetMetrics(reg *metrics.Registry) {
+	s.met = storeMetrics{
+		puts:       reg.Counter("dht/puts"),
+		gets:       reg.Counter("dht/gets"),
+		putsDeg:    reg.Counter("dht/puts_degraded"),
+		getsDeg:    reg.Counter("dht/gets_degraded"),
+		putWall:    reg.MustHistogram("dht/put_wallns", metrics.LatencyBuckets),
+		getWall:    reg.MustHistogram("dht/get_wallns", metrics.LatencyBuckets),
+		valueBytes: reg.Counter("dht/value_bytes"),
+	}
 }
 
 // SetFaulty marks a replica as misbehaving: it drops writes and returns
@@ -120,10 +149,14 @@ func (s *Store) Put(key id.ID, value []byte) error {
 // write. It fails only when every replica is faulty; a degraded health
 // (Live < Total) means the write landed but with reduced durability.
 func (s *Store) PutChecked(key id.ID, value []byte) (Health, error) {
+	start := time.Now()
+	defer func() { s.met.putWall.ObserveDuration(time.Since(start)) }()
 	h := Health{Total: s.replicas}
 	if len(value) == 0 {
 		return h, fmt.Errorf("dht: empty value")
 	}
+	s.met.puts.Inc()
+	s.met.valueBytes.Add(uint64(len(value)))
 	for _, r := range s.ReplicaSet(key) {
 		if s.faulty[r] {
 			continue
@@ -146,6 +179,9 @@ func (s *Store) PutChecked(key id.ID, value []byte) (Health, error) {
 	if h.Live == 0 {
 		return h, fmt.Errorf("dht: all %d replicas for %s are faulty", s.replicas, key.Short())
 	}
+	if h.Degraded() {
+		s.met.putsDeg.Inc()
+	}
 	return h, nil
 }
 
@@ -163,6 +199,9 @@ func (s *Store) Get(key id.ID) [][]byte {
 // "nothing is stored" (nil values, nil error) from "the whole replica
 // set is down" (error).
 func (s *Store) GetChecked(key id.ID) ([][]byte, Health, error) {
+	start := time.Now()
+	defer func() { s.met.getWall.ObserveDuration(time.Since(start)) }()
+	s.met.gets.Inc()
 	h := Health{Total: s.replicas}
 	var out [][]byte
 	seen := make(map[string]bool)
@@ -181,6 +220,9 @@ func (s *Store) GetChecked(key id.ID) ([][]byte, Health, error) {
 	}
 	if h.Live == 0 {
 		return nil, h, fmt.Errorf("dht: all %d replicas for %s are faulty", s.replicas, key.Short())
+	}
+	if h.Degraded() {
+		s.met.getsDeg.Inc()
 	}
 	return out, h, nil
 }

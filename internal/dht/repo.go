@@ -7,6 +7,7 @@ import (
 
 	"concilium/internal/core"
 	"concilium/internal/id"
+	"concilium/internal/metrics"
 )
 
 // AccusationRepo stores self-verifying revision chains in the DHT under
@@ -18,6 +19,10 @@ type AccusationRepo struct {
 	keys  core.KeyDirectory
 	// threshold is the verifier's guilty threshold for accepting chains.
 	threshold float64
+
+	published *metrics.Counter
+	accBytes  *metrics.Counter
+	rejected  *metrics.Counter
 }
 
 // NewAccusationRepo wraps a store with chain verification.
@@ -31,19 +36,34 @@ func NewAccusationRepo(store *Store, keys core.KeyDirectory, threshold float64) 
 	return &AccusationRepo{store: store, keys: keys, threshold: threshold}, nil
 }
 
+// SetMetrics publishes accusation-repo volume into reg: chains
+// published and rejected, plus the exact encoded bytes-on-wire of the
+// accusation message class. A nil registry disables publication.
+func (r *AccusationRepo) SetMetrics(reg *metrics.Registry) {
+	r.published = reg.Counter("dht/chains_published")
+	r.rejected = reg.Counter("dht/chains_rejected")
+	r.accBytes = reg.Counter("wire/accusation_bytes")
+}
+
 // Publish verifies and stores an amended accusation under its culprit.
 func (r *AccusationRepo) Publish(chain *core.RevisionChain) error {
 	if chain == nil {
 		return fmt.Errorf("dht: nil chain")
 	}
 	if err := chain.Verify(r.keys, r.threshold); err != nil {
+		r.rejected.Inc()
 		return fmt.Errorf("dht: refusing to publish unverifiable chain: %w", err)
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(chain); err != nil {
 		return fmt.Errorf("dht: encode chain: %w", err)
 	}
-	return r.store.Put(chain.Culprit(), buf.Bytes())
+	if err := r.store.Put(chain.Culprit(), buf.Bytes()); err != nil {
+		return err
+	}
+	r.published.Inc()
+	r.accBytes.Add(uint64(buf.Len()))
+	return nil
 }
 
 // Fetch returns every verifiable accusation chain against the accused.

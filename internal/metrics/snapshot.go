@@ -1,0 +1,310 @@
+package metrics
+
+import (
+	"fmt"
+)
+
+// HistogramSnapshot is one histogram's frozen state. Counts has one
+// entry per bound plus the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+}
+
+// sameBounds reports bound equality.
+func sameBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot is a frozen, value-typed copy of a registry's metrics.
+// encoding/json sorts map keys, so marshaling a snapshot is
+// deterministic — two equal snapshots always serialize to identical
+// bytes.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: make([]uint64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+				hs.Count += hs.Counts[i]
+			}
+			hs.Sum = h.sum.Load()
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Clone deep-copies the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	out := Snapshot{}
+	if s.Counters != nil {
+		out.Counters = make(map[string]uint64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+	}
+	if s.Gauges != nil {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	if s.Histograms != nil {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for k, v := range s.Histograms {
+			out.Histograms[k] = HistogramSnapshot{
+				Bounds: append([]int64(nil), v.Bounds...),
+				Counts: append([]uint64(nil), v.Counts...),
+				Count:  v.Count,
+				Sum:    v.Sum,
+			}
+		}
+	}
+	return out
+}
+
+// Canonical returns the snapshot with every non-deterministic metric
+// (reserved "_wallns"/"_nondet" suffixes) removed — the comparable
+// core that must be bit-identical across worker counts and machines
+// for a fixed seed.
+func (s Snapshot) Canonical() Snapshot {
+	out := s.Clone()
+	for name := range out.Counters {
+		if NonDeterministic(name) {
+			delete(out.Counters, name)
+		}
+	}
+	for name := range out.Gauges {
+		if NonDeterministic(name) {
+			delete(out.Gauges, name)
+		}
+	}
+	for name := range out.Histograms {
+		if NonDeterministic(name) {
+			delete(out.Histograms, name)
+		}
+	}
+	if len(out.Counters) == 0 {
+		out.Counters = nil
+	}
+	if len(out.Gauges) == 0 {
+		out.Gauges = nil
+	}
+	if len(out.Histograms) == 0 {
+		out.Histograms = nil
+	}
+	return out
+}
+
+// Wall returns the complement of Canonical: only the reserved
+// non-deterministic metrics.
+func (s Snapshot) Wall() Snapshot {
+	out := s.Clone()
+	for name := range out.Counters {
+		if !NonDeterministic(name) {
+			delete(out.Counters, name)
+		}
+	}
+	for name := range out.Gauges {
+		if !NonDeterministic(name) {
+			delete(out.Gauges, name)
+		}
+	}
+	for name := range out.Histograms {
+		if !NonDeterministic(name) {
+			delete(out.Histograms, name)
+		}
+	}
+	if len(out.Counters) == 0 {
+		out.Counters = nil
+	}
+	if len(out.Gauges) == 0 {
+		out.Gauges = nil
+	}
+	if len(out.Histograms) == 0 {
+		out.Histograms = nil
+	}
+	return out
+}
+
+// Diff returns s − older: counter and histogram deltas (both are
+// monotone, so negative deltas are an error), gauges taken from s.
+// Metrics absent from older count from zero.
+func (s Snapshot) Diff(older Snapshot) (Snapshot, error) {
+	out := s.Clone()
+	for name, old := range older.Counters {
+		cur, ok := out.Counters[name]
+		if !ok {
+			return Snapshot{}, fmt.Errorf("metrics: diff: counter %q vanished", name)
+		}
+		if cur < old {
+			return Snapshot{}, fmt.Errorf("metrics: diff: counter %q went backwards (%d < %d)", name, cur, old)
+		}
+		out.Counters[name] = cur - old
+	}
+	for name, old := range older.Histograms {
+		cur, ok := out.Histograms[name]
+		if !ok {
+			return Snapshot{}, fmt.Errorf("metrics: diff: histogram %q vanished", name)
+		}
+		if !sameBounds(cur.Bounds, old.Bounds) {
+			return Snapshot{}, fmt.Errorf("metrics: diff: histogram %q bounds changed", name)
+		}
+		for i := range cur.Counts {
+			if cur.Counts[i] < old.Counts[i] {
+				return Snapshot{}, fmt.Errorf("metrics: diff: histogram %q bucket %d went backwards", name, i)
+			}
+			cur.Counts[i] -= old.Counts[i]
+		}
+		if cur.Count < old.Count {
+			return Snapshot{}, fmt.Errorf("metrics: diff: histogram %q count went backwards", name)
+		}
+		cur.Count -= old.Count
+		cur.Sum -= old.Sum
+		out.Histograms[name] = cur
+	}
+	// Gauges are levels, not accumulations: the diff keeps s's value.
+	return out, nil
+}
+
+// Merge combines two snapshots from independent registries (e.g. one
+// per parallel trial): counters and histogram buckets add, gauges take
+// the maximum. Merge is associative and commutative, so reducing a
+// slice of per-trial snapshots in index order yields the same result
+// as any other grouping — the property that keeps merged metrics
+// worker-count invariant.
+func Merge(a, b Snapshot) (Snapshot, error) {
+	out := a.Clone()
+	for name, v := range b.Counters {
+		if out.Counters == nil {
+			out.Counters = make(map[string]uint64)
+		}
+		out.Counters[name] += v
+	}
+	for name, v := range b.Gauges {
+		if out.Gauges == nil {
+			out.Gauges = make(map[string]int64)
+		}
+		if cur, ok := out.Gauges[name]; !ok || v > cur {
+			out.Gauges[name] = v
+		}
+	}
+	for name, hb := range b.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramSnapshot)
+		}
+		ha, ok := out.Histograms[name]
+		if !ok {
+			out.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]int64(nil), hb.Bounds...),
+				Counts: append([]uint64(nil), hb.Counts...),
+				Count:  hb.Count,
+				Sum:    hb.Sum,
+			}
+			continue
+		}
+		if !sameBounds(ha.Bounds, hb.Bounds) {
+			return Snapshot{}, fmt.Errorf("metrics: merge: histogram %q bounds differ", name)
+		}
+		for i := range ha.Counts {
+			ha.Counts[i] += hb.Counts[i]
+		}
+		ha.Count += hb.Count
+		ha.Sum += hb.Sum
+		out.Histograms[name] = ha
+	}
+	return out, nil
+}
+
+// MergeAll folds snapshots left to right.
+func MergeAll(snaps ...Snapshot) (Snapshot, error) {
+	out := Snapshot{}
+	for _, s := range snaps {
+		var err error
+		out, err = Merge(out, s)
+		if err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return out, nil
+}
+
+// Equal reports deep equality of two snapshots.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Counters) != len(o.Counters) || len(s.Gauges) != len(o.Gauges) || len(s.Histograms) != len(o.Histograms) {
+		return false
+	}
+	for k, v := range s.Counters {
+		if ov, ok := o.Counters[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range s.Gauges {
+		if ov, ok := o.Gauges[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, h := range s.Histograms {
+		oh, ok := o.Histograms[k]
+		if !ok || oh.Count != h.Count || oh.Sum != h.Sum || !sameBounds(oh.Bounds, h.Bounds) {
+			return false
+		}
+		for i := range h.Counts {
+			if h.Counts[i] != oh.Counts[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CounterNames returns the counter names in sorted order, for
+// deterministic rendering.
+func (s Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the gauge names in sorted order.
+func (s Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames returns the histogram names in sorted order.
+func (s Snapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }

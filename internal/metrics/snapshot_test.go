@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+
+	"concilium/internal/parexec"
+)
+
+// fill populates a registry with a deterministic workload derived from
+// the given stream index, mixing canonical and wall-clock series.
+func fill(r *Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("c/events").Inc()
+		r.Counter("c/bytes").Add(uint64(64 + i))
+		r.Gauge("g/highwater").Set(int64(i))
+		r.MustHistogram("h/latency", []int64{10, 100, 1000}).Observe(int64(i * 7 % 1500))
+	}
+	r.Counter("c/blame_wallns").Add(uint64(n * 31))
+	r.Gauge("g/cache_nondet").Set(int64(n))
+}
+
+func TestSnapshotCanonicalAndWallPartition(t *testing.T) {
+	r := NewRegistry()
+	fill(r, 20)
+	s := r.Snapshot()
+
+	canon := s.Canonical()
+	wall := s.Wall()
+	for _, name := range canon.CounterNames() {
+		if NonDeterministic(name) {
+			t.Errorf("canonical kept %q", name)
+		}
+	}
+	for _, name := range wall.CounterNames() {
+		if !NonDeterministic(name) {
+			t.Errorf("wall kept deterministic %q", name)
+		}
+	}
+	for _, name := range wall.GaugeNames() {
+		if !NonDeterministic(name) {
+			t.Errorf("wall kept deterministic gauge %q", name)
+		}
+	}
+	// Canonical + Wall must recover the whole snapshot (no series lost).
+	rejoined, err := Merge(canon, wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rejoined.Equal(s) {
+		t.Fatal("Canonical ∪ Wall != original snapshot")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	fill(r, 5)
+	before := r.Snapshot()
+	fill(r, 3)
+	after := r.Snapshot()
+
+	d, err := after.Diff(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Counters["c/events"]; got != 3 {
+		t.Errorf("diff events = %d, want 3", got)
+	}
+	if got := d.Histograms["h/latency"].Count; got != 3 {
+		t.Errorf("diff histogram count = %d, want 3", got)
+	}
+	// Gauges are levels: diff keeps the newer value.
+	if got := d.Gauges["g/highwater"]; got != after.Gauges["g/highwater"] {
+		t.Errorf("diff gauge = %d, want newer value %d", got, after.Gauges["g/highwater"])
+	}
+
+	// Monotonicity violations are errors, not silent wraparound.
+	if _, err := before.Diff(after); err == nil {
+		t.Error("backwards counter diff accepted")
+	}
+	empty := Snapshot{}
+	if _, err := empty.Diff(before); err == nil {
+		t.Error("diff against vanished counters accepted")
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	a := Snapshot{
+		Counters: map[string]uint64{"c": 3},
+		Gauges:   map[string]int64{"g": 10},
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []int64{1, 2}, Counts: []uint64{1, 0, 2}, Count: 3, Sum: 9},
+		},
+	}
+	b := Snapshot{
+		Counters: map[string]uint64{"c": 4, "only_b": 1},
+		Gauges:   map[string]int64{"g": 7},
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []int64{1, 2}, Counts: []uint64{0, 5, 0}, Count: 5, Sum: 10},
+		},
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["c"] != 7 || m.Counters["only_b"] != 1 {
+		t.Errorf("counters did not add: %v", m.Counters)
+	}
+	if m.Gauges["g"] != 10 {
+		t.Errorf("gauge merge = %d, want max 10", m.Gauges["g"])
+	}
+	h := m.Histograms["h"]
+	if h.Count != 8 || h.Sum != 19 || h.Counts[1] != 5 {
+		t.Errorf("histogram merge wrong: %+v", h)
+	}
+
+	mismatch := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{9}, Counts: []uint64{0, 0}},
+	}}
+	if _, err := Merge(a, mismatch); err == nil {
+		t.Error("bounds mismatch accepted")
+	}
+}
+
+// TestMergeAssociativeCommutative verifies the algebra that makes
+// merged per-trial registries worker-count invariant.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	snaps := make([]Snapshot, 4)
+	for i := range snaps {
+		r := NewRegistry()
+		fill(r, 3+i*5)
+		snaps[i] = r.Snapshot()
+	}
+	// ((a+b)+c)+d
+	left, err := MergeAll(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a+b)+(c+d)
+	ab, err := Merge(snaps[0], snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Merge(snaps[2], snaps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := Merge(ab, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.Equal(grouped) {
+		t.Fatal("merge is not associative")
+	}
+	// d+c+b+a
+	rev, err := MergeAll(snaps[3], snaps[2], snaps[1], snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.Equal(rev) {
+		t.Fatal("merge is not commutative")
+	}
+}
+
+// TestWorkerCountInvariance runs the same per-trial workload under
+// parexec at several worker counts and requires the merged snapshot to
+// be identical — the contract the bench reports depend on.
+func TestWorkerCountInvariance(t *testing.T) {
+	const trials = 16
+	runAt := func(workers int) Snapshot {
+		seed := parexec.NewSeed(42, 0xdead)
+		snaps, err := parexec.MapTrials(workers, trials, seed, func(i int, rng *rand.Rand) (Snapshot, error) {
+			r := NewRegistry()
+			n := 1 + int(rng.Uint64()%32)
+			fill(r, n)
+			return r.Snapshot(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := MergeAll(snaps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return merged
+	}
+	serial := runAt(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := runAt(w); !got.Equal(serial) {
+			t.Fatalf("merged snapshot differs at workers=%d", w)
+		}
+	}
+}
+
+// TestSnapshotJSONDeterministic: equal snapshots marshal to identical
+// bytes (encoding/json sorts map keys), so byte-comparing encoded
+// reports is a valid equality check.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	fill(r1, 11)
+	fill(r2, 11)
+	b1, err := json.Marshal(r1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("equal snapshots marshaled differently:\n%s\n%s", b1, b2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r1.Snapshot()) {
+		t.Fatal("JSON round trip lost state")
+	}
+}
+
+func TestSnapshotEqualAndClone(t *testing.T) {
+	r := NewRegistry()
+	fill(r, 8)
+	s := r.Snapshot()
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Counters["c/events"]++
+	if s.Equal(c) {
+		t.Fatal("mutated clone still equal (shallow copy?)")
+	}
+	c2 := s.Clone()
+	c2.Histograms["h/latency"].Counts[0]++
+	if s.Equal(c2) {
+		t.Fatal("mutating clone's histogram counts aliased original")
+	}
+	if (Snapshot{}).Equal(s) {
+		t.Fatal("empty equals populated")
+	}
+}

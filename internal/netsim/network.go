@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"concilium/internal/metrics"
 	"concilium/internal/stats"
 	"concilium/internal/topology"
 )
@@ -48,6 +49,18 @@ type Network struct {
 
 	down      []bool
 	downCount int
+
+	met netMetrics
+}
+
+// netMetrics caches the network's metric handles; all nil (discard)
+// until WithMetrics installs a live registry.
+type netMetrics struct {
+	failures  *metrics.Counter
+	repairs   *metrics.Counter
+	delivered *metrics.Counter
+	dropped   *metrics.Counter
+	downG     *metrics.Gauge
 }
 
 // NetworkOption configures a Network.
@@ -67,6 +80,21 @@ func WithHopLatency(d time.Duration) NetworkOption {
 // state change (failures and repairs), for tracing and metrics.
 func WithLinkWatcher(fn func(topology.LinkID, bool)) NetworkOption {
 	return func(n *Network) { n.watch = fn }
+}
+
+// WithMetrics publishes link-churn counters, a down-link high-water
+// gauge, and packet delivery/drop counters into reg (names "netsim/*").
+// All are deterministic for a fixed seed. A nil registry is a no-op.
+func WithMetrics(reg *metrics.Registry) NetworkOption {
+	return func(n *Network) {
+		n.met = netMetrics{
+			failures:  reg.Counter("netsim/link_failures"),
+			repairs:   reg.Counter("netsim/link_repairs"),
+			delivered: reg.Counter("netsim/packets_delivered"),
+			dropped:   reg.Counter("netsim/packets_dropped"),
+			downG:     reg.Gauge("netsim/links_down_highwater"),
+		}
+	}
 }
 
 // NewNetwork creates a network over g, scheduling deliveries on sim and
@@ -109,8 +137,11 @@ func (n *Network) SetLinkDown(l topology.LinkID, isDown bool) error {
 	n.down[l] = isDown
 	if isDown {
 		n.downCount++
+		n.met.failures.Inc()
+		n.met.downG.Set(int64(n.downCount))
 	} else {
 		n.downCount--
+		n.met.repairs.Inc()
 	}
 	if n.watch != nil {
 		n.watch(l, isDown)
@@ -144,13 +175,17 @@ func (n *Network) PathUp(path []topology.LinkID) bool {
 	return true
 }
 
-// FirstDownLink returns the first failed link along path, if any.
+// FirstDownLink returns the first failed link along path, if any. One
+// call corresponds to one packet leg traversing the path, so it also
+// feeds the packets_delivered/packets_dropped counters.
 func (n *Network) FirstDownLink(path []topology.LinkID) (topology.LinkID, bool) {
 	for _, l := range path {
 		if n.LinkDown(l) {
+			n.met.dropped.Inc()
 			return l, true
 		}
 	}
+	n.met.delivered.Inc()
 	return 0, false
 }
 
@@ -185,8 +220,10 @@ func (n *Network) Deliver(path []topology.LinkID, deliver func(), drop func()) e
 		if deliver == nil {
 			return fmt.Errorf("netsim: nil deliver callback")
 		}
+		n.met.delivered.Inc()
 		return n.sim.ScheduleAfter(lat, deliver)
 	}
+	n.met.dropped.Inc()
 	if drop != nil {
 		return n.sim.ScheduleAfter(lat, drop)
 	}

@@ -1,0 +1,50 @@
+// Package profiling wraps runtime/pprof capture for the command-line
+// tools: opt-in CPU and heap profiles written to user-chosen paths.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns a stop function
+// that finishes the profile and closes the file. An empty path is a
+// no-op with a no-op stop.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocs-space heap profile to path after a final
+// GC, so the snapshot reflects live-plus-freed allocation totals. An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: create mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: write mem profile: %w", err)
+	}
+	return f.Close()
+}

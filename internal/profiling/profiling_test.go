@@ -1,0 +1,61 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartCPUWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPU(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("cpu profile missing or empty (err=%v)", err)
+	}
+}
+
+func TestStartCPUEmptyPathIsNoop(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartCPUBadPath(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestWriteHeap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := WriteHeap(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty (err=%v)", err)
+	}
+	if err := WriteHeap(""); err != nil {
+		t.Errorf("empty path not a no-op: %v", err)
+	}
+	if err := WriteHeap(filepath.Join(t.TempDir(), "no", "dir", "mem")); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

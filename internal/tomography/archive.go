@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"concilium/internal/id"
+	"concilium/internal/metrics"
 	"concilium/internal/netsim"
 	"concilium/internal/topology"
 )
@@ -24,11 +25,25 @@ type ProbeRecord struct {
 // which keeps window queries logarithmic.
 type Archive struct {
 	byLink map[topology.LinkID][]ProbeRecord
+	size   int
+
+	records *metrics.Counter
+	pruned  *metrics.Counter
+	sizeG   *metrics.Gauge
 }
 
 // NewArchive creates an empty archive.
 func NewArchive() *Archive {
 	return &Archive{byLink: make(map[topology.LinkID][]ProbeRecord)}
+}
+
+// SetMetrics publishes the archive's record/prune counters and size
+// gauge into reg (names "tomography/archive_*"). A nil registry
+// disables publication.
+func (a *Archive) SetMetrics(reg *metrics.Registry) {
+	a.records = reg.Counter("tomography/archive_records")
+	a.pruned = reg.Counter("tomography/archive_pruned")
+	a.sizeG = reg.Gauge("tomography/archive_size")
 }
 
 // Record archives one prober's observations taken at time at.
@@ -40,7 +55,10 @@ func (a *Archive) Record(prober id.ID, at netsim.Time, obs []LinkObservation) er
 				o.Link, at, recs[len(recs)-1].At)
 		}
 		a.byLink[o.Link] = append(recs, ProbeRecord{Prober: prober, At: at, Up: o.Up})
+		a.size++
 	}
+	a.records.Add(uint64(len(obs)))
+	a.sizeG.Set(int64(a.size))
 	return nil
 }
 
@@ -64,11 +82,13 @@ func (a *Archive) InWindow(link topology.LinkID, from, to netsim.Time, exclude m
 // Prune discards records older than before, bounding archive growth over
 // long simulations.
 func (a *Archive) Prune(before netsim.Time) {
+	var dropped int
 	for link, recs := range a.byLink {
 		cut := sort.Search(len(recs), func(i int) bool { return recs[i].At >= before })
 		if cut == 0 {
 			continue
 		}
+		dropped += cut
 		if cut == len(recs) {
 			delete(a.byLink, link)
 			continue
@@ -77,13 +97,12 @@ func (a *Archive) Prune(before netsim.Time) {
 		copy(kept, recs[cut:])
 		a.byLink[link] = kept
 	}
+	if dropped > 0 {
+		a.size -= dropped
+		a.pruned.Add(uint64(dropped))
+		a.sizeG.Set(int64(a.size))
+	}
 }
 
 // Size returns the total number of archived records.
-func (a *Archive) Size() int {
-	var n int
-	for _, recs := range a.byLink {
-		n += len(recs)
-	}
-	return n
-}
+func (a *Archive) Size() int { return a.size }

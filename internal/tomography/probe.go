@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"concilium/internal/metrics"
 	"concilium/internal/netsim"
 	"concilium/internal/stats"
 	"concilium/internal/topology"
@@ -19,6 +20,10 @@ type Prober struct {
 	tree *Tree
 	net  *netsim.Network
 	rng  stats.Rand
+
+	packets      *metrics.Counter
+	unreached    *metrics.Counter
+	sweepPackets *metrics.Histogram
 }
 
 // NewProber builds a prober for tree over net.
@@ -27,6 +32,15 @@ func NewProber(tree *Tree, net *netsim.Network, rng stats.Rand) (*Prober, error)
 		return nil, fmt.Errorf("tomography: prober requires tree, network, and rng")
 	}
 	return &Prober{tree: tree, net: net, rng: rng}, nil
+}
+
+// SetMetrics publishes probing volume into reg: total probe packets,
+// leaves declared unreached, and a per-sweep packet histogram (names
+// "tomography/probe_*"). A nil registry disables publication.
+func (p *Prober) SetMetrics(reg *metrics.Registry) {
+	p.packets = reg.Counter("tomography/probe_packets")
+	p.unreached = reg.Counter("tomography/probe_unreached")
+	p.sweepPackets = reg.MustHistogram("tomography/probe_sweep_packets", metrics.CountBuckets)
 }
 
 // LightweightResult is the outcome of one availability-probe sweep: for
@@ -135,6 +149,9 @@ func (p *Prober) LightweightProbeBudget(b RetryBudget) LightweightResult {
 			res.Unreached++
 		}
 	}
+	p.packets.Add(uint64(res.Packets))
+	p.unreached.Add(uint64(res.Unreached))
+	p.sweepPackets.Observe(int64(res.Packets))
 	return res
 }
 

@@ -13,30 +13,34 @@ import (
 	"fmt"
 
 	"concilium/internal/core"
+	"concilium/internal/wiresize"
 )
 
-// Sizes from §4.4's accounting.
+// Sizes from §4.4's accounting, re-exported from the dependency-free
+// internal/wiresize so instrumented protocol layers (which cannot
+// import this package without a cycle through core) share the same
+// byte model.
 const (
 	// NodeIDBytes is the identifier length in a routing entry.
-	NodeIDBytes = 16
+	NodeIDBytes = wiresize.NodeID
 	// FreshnessTimestampBytes is the per-entry signed timestamp payload.
-	FreshnessTimestampBytes = 4
+	FreshnessTimestampBytes = wiresize.FreshnessTimestamp
 	// PSSREntryBytes is a routing entry (identifier + timestamp) signed
 	// with PSS-R over a 1024-bit key: message recovery folds the 20
 	// payload bytes into the 128-byte signature block, totalling 144.
-	PSSREntryBytes = 144
+	PSSREntryBytes = wiresize.PSSREntry
 	// PathSummaryBytes encodes one path's probe results: "a few bits",
 	// budgeted at one byte.
-	PathSummaryBytes = 1
+	PathSummaryBytes = wiresize.PathSummary
 	// IPUDPHeaderBytes is the IP+UDP header overhead per probe.
-	IPUDPHeaderBytes = 28
+	IPUDPHeaderBytes = wiresize.IPUDPHeader
 	// ProbeNonceBytes is the 16-bit probe nonce.
-	ProbeNonceBytes = 2
+	ProbeNonceBytes = wiresize.ProbeNonce
 	// ProbePacketBytes is one striped unicast probe on the wire.
-	ProbePacketBytes = IPUDPHeaderBytes + ProbeNonceBytes
+	ProbePacketBytes = wiresize.ProbePacket
 	// LeafSetEntries is the leaf count added to μφ for total routing
 	// state size.
-	LeafSetEntries = 16
+	LeafSetEntries = wiresize.LeafSetEntries
 )
 
 // AdvertBytes returns the size of a full signed routing-state

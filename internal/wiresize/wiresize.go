@@ -1,0 +1,58 @@
+// Package wiresize holds the §4.4 byte-accounting constants as a leaf
+// package with no dependencies, so every protocol layer can meter its
+// bytes-on-wire into the metrics registry without importing
+// internal/wire (which depends on internal/core for codec types).
+// internal/wire re-exports these constants under its historical names.
+package wiresize
+
+// Sizes from §4.4's accounting.
+const (
+	// NodeID is the identifier length in a routing entry.
+	NodeID = 16
+	// FreshnessTimestamp is the per-entry signed timestamp payload.
+	FreshnessTimestamp = 4
+	// PSSREntry is a routing entry (identifier + timestamp) signed
+	// with PSS-R over a 1024-bit key: message recovery folds the 20
+	// payload bytes into the 128-byte signature block, totalling 144.
+	PSSREntry = 144
+	// PathSummary encodes one path's probe results: "a few bits",
+	// budgeted at one byte.
+	PathSummary = 1
+	// IPUDPHeader is the IP+UDP header overhead per packet.
+	IPUDPHeader = 28
+	// ProbeNonce is the 16-bit probe nonce.
+	ProbeNonce = 2
+	// ProbePacket is one striped unicast probe on the wire.
+	ProbePacket = IPUDPHeader + ProbeNonce
+	// LeafSetEntries is the leaf count added to μφ for total routing
+	// state size.
+	LeafSetEntries = 16
+
+	// Signature is an Ed25519 signature (the reproduction's stand-in
+	// for the paper's PSS-R commitments and snapshot signatures).
+	Signature = 64
+	// MsgID is the per-sender message counter carried in commitments.
+	MsgID = 8
+	// Timestamp is a virtual-time instant on the wire.
+	Timestamp = 8
+)
+
+// StewardedHop is the modeled on-wire cost of forwarding one
+// stewarded message across one overlay hop: packet header, source and
+// destination identifiers, the message id, and the next hop's signed
+// forwarding commitment (§3.6: judged identifier + signature).
+const StewardedHop = IPUDPHeader + 2*NodeID + MsgID + NodeID + Signature
+
+// AckHop is the modeled cost of one acknowledgment leg: header, the
+// acker's identifier, the message id, and its signature.
+const AckHop = IPUDPHeader + NodeID + MsgID + Signature
+
+// SnapshotBytes models one signed tomographic snapshot (§3.2) carrying
+// n link observations: header, prober identifier, timestamp, one
+// packed (link id, status) pair per observation, and the signature.
+func SnapshotBytes(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return IPUDPHeader + NodeID + Timestamp + n*5 + Signature
+}

@@ -1,0 +1,42 @@
+package wiresize
+
+import "testing"
+
+func TestSectionFourFourConstants(t *testing.T) {
+	// §4.4's published figures: 144-byte signed routing entries and
+	// 30-byte probes.
+	if PSSREntry != 144 {
+		t.Errorf("PSSREntry = %d, want 144", PSSREntry)
+	}
+	if ProbePacket != 30 {
+		t.Errorf("ProbePacket = %d, want 30", ProbePacket)
+	}
+	if NodeID != 16 || IPUDPHeader != 28 || Signature != 64 {
+		t.Errorf("base constants drifted: NodeID=%d IPUDPHeader=%d Signature=%d",
+			NodeID, IPUDPHeader, Signature)
+	}
+}
+
+func TestHopCosts(t *testing.T) {
+	// A stewarded hop carries strictly more than its ack leg (two extra
+	// identifiers for source/destination routing).
+	if StewardedHop <= AckHop {
+		t.Errorf("StewardedHop (%d) <= AckHop (%d)", StewardedHop, AckHop)
+	}
+	if StewardedHop != IPUDPHeader+3*NodeID+MsgID+Signature {
+		t.Errorf("StewardedHop = %d, composition drifted", StewardedHop)
+	}
+}
+
+func TestSnapshotBytes(t *testing.T) {
+	base := SnapshotBytes(0)
+	if base != IPUDPHeader+NodeID+Timestamp+Signature {
+		t.Errorf("empty snapshot = %d, composition drifted", base)
+	}
+	if got := SnapshotBytes(10); got != base+50 {
+		t.Errorf("SnapshotBytes(10) = %d, want %d (5 bytes per observation)", got, base+50)
+	}
+	if SnapshotBytes(-3) != base {
+		t.Error("negative observation count not clamped to zero")
+	}
+}
