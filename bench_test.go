@@ -194,6 +194,34 @@ func BenchmarkFig4Coverage(b *testing.B) {
 	b.ReportMetric(own, "own-tree-coverage")
 }
 
+// BenchmarkSendMessageWarm measures the steady-state diagnosis hot
+// path: one stewarded message on a warm system with probing running and
+// scratch arenas grown. The allocs/op figure is the headline — the
+// cached routing states and reusable buffers keep the delivered path at
+// a couple of allocations (the report and its copied-out route).
+func BenchmarkSendMessageWarm(b *testing.B) {
+	cfg := benchSystemConfig()
+	s, err := core.BuildSystem(cfg, benchRand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.StartProbing(); err != nil {
+		b.Fatal(err)
+	}
+	s.Run(10 * time.Minute)
+	src, dst := s.Order[0], s.Order[len(s.Order)/2]
+	if _, err := s.SendMessage(src, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SendMessage(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func fig5Bench(b *testing.B, malicious float64) (pGood, pFaulty float64) {
 	b.Helper()
 	cfg := experiments.Fig5Config{

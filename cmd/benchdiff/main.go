@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	benchdiff [-max-regress 0.25] [-require-checks] [-canonical] baseline.json current.json
+//	benchdiff [-max-regress 0.25] [-max-alloc-regress 0.25] [-require-checks] [-canonical] baseline.json current.json
 //
 // The exit status is the gate: nonzero when any figure's ns/op grew
 // beyond the tolerance, when a baseline figure vanished, or when a
@@ -11,6 +11,12 @@
 // — timing baselines age across machines, but a silently dropped
 // benchmark or a large regression should stop a merge.
 //
+// -max-alloc-regress adds an allocation gate with its own tolerance:
+// any figure whose allocs/op or bytes/op grew beyond it fails. Heap
+// profiles are far more stable across machines than wall clock, so this
+// gate typically runs tighter than -max-regress; 0 (the default)
+// disables it. -min-allocs exempts figures whose baseline allocs/op is
+// at or below the floor, where GC noise dominates.
 // -require-checks fails when any figure's deterministic check values
 // differ from the baseline's (same-seed comparisons only).
 // -canonical fails unless both reports' deterministic cores are
@@ -39,6 +45,8 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	maxRegress := fs.Float64("max-regress", 0.25, "maximum tolerated ns/op growth (0.25 = +25%)")
 	minNs := fs.Int64("min-ns", 0, "exempt figures whose baseline ns/op is at or below this from the timing gate")
+	maxAllocRegress := fs.Float64("max-alloc-regress", 0, "maximum tolerated allocs/op or bytes/op growth (0 disables the allocation gate)")
+	minAllocs := fs.Int64("min-allocs", 1000, "exempt figures whose baseline allocs/op is at or below this from the allocation gate")
 	requireChecks := fs.Bool("require-checks", false, "fail when deterministic check values diverge from the baseline")
 	canonical := fs.Bool("canonical", false, "fail unless both reports' deterministic cores are byte-identical")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +89,19 @@ func run(w io.Writer, args []string) error {
 	}
 
 	failed := !res.OK()
+	if *maxAllocRegress > 0 {
+		allocRegs, err := benchreport.CompareAllocs(base, cur, *maxAllocRegress, *minAllocs)
+		if err != nil {
+			return err
+		}
+		for _, d := range allocRegs {
+			fmt.Fprintf(w, "ALLOC REGRESSION %-16s %d -> %d %s (%.2fx, tolerance %.2fx)\n",
+				d.Figure, d.Base, d.Cur, d.Metric, d.Ratio, 1+*maxAllocRegress)
+		}
+		if len(allocRegs) > 0 {
+			failed = true
+		}
+	}
 	if *requireChecks && len(res.ChecksDiverged) > 0 {
 		failed = true
 	}

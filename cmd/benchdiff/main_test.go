@@ -77,6 +77,40 @@ func TestMinNsExemptsNoisyFigures(t *testing.T) {
 	}
 }
 
+func TestAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", func(r *benchreport.Report) {
+		r.Figures[0].Timing.AllocsPerOp = 100000
+		r.Figures[0].Timing.BytesPerOp = 1 << 24
+	})
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures[0].Timing.AllocsPerOp = 250000 // 2.5x
+		r.Figures[0].Timing.BytesPerOp = 1 << 24
+	})
+
+	// Disabled by default: a pure allocation regression passes.
+	var buf bytes.Buffer
+	if err := run(&buf, []string{base, cur}); err != nil {
+		t.Fatalf("default gate failed on alloc-only change: %v\n%s", err, buf.String())
+	}
+
+	// Enabled, it fails and names the axis.
+	buf.Reset()
+	err := run(&buf, []string{"-max-alloc-regress", "0.25", base, cur})
+	if err == nil {
+		t.Fatalf("alloc gate passed despite 2.5x allocs/op growth:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ALLOC REGRESSION fig1") || !strings.Contains(buf.String(), "allocs/op") {
+		t.Errorf("output missing alloc regression line:\n%s", buf.String())
+	}
+
+	// The -min-allocs floor exempts tiny figures.
+	buf.Reset()
+	if err := run(&buf, []string{"-max-alloc-regress", "0.25", "-min-allocs", "200000", base, cur}); err != nil {
+		t.Fatalf("min-allocs floor did not apply: %v\n%s", err, buf.String())
+	}
+}
+
 func TestGateFailsOnMissingFigure(t *testing.T) {
 	dir := t.TempDir()
 	base := writeReport(t, dir, "base.json", nil)

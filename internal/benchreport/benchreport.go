@@ -342,6 +342,68 @@ func Compare(base, cur *Report, maxRegress float64, minNs int64) (*CompareResult
 	return res, nil
 }
 
+// AllocDelta is one figure's allocation movement between a baseline and
+// a current report, for either the allocs/op or bytes/op axis.
+type AllocDelta struct {
+	Figure string
+	// Metric is "allocs/op" or "bytes/op".
+	Metric string
+	Base   int64
+	Cur    int64
+	// Ratio is Cur/Base; 1.30 means 30% more than baseline.
+	Ratio float64
+}
+
+// CompareAllocs gates cur's allocation profile against base: any figure
+// whose allocs_per_op or bytes_per_op grew by more than maxRegress
+// (0.25 = +25%) is a regression. Figures whose baseline allocs_per_op
+// is at or below minAllocs are exempt on both axes (tiny figures
+// jitter past any percentage tolerance on GC noise alone), as are
+// figures with a zero baseline on an axis. Presence and check
+// divergence are Compare's job; this gate only watches the allocator.
+func CompareAllocs(base, cur *Report, maxRegress float64, minAllocs int64) ([]AllocDelta, error) {
+	if maxRegress <= 0 {
+		return nil, fmt.Errorf("benchreport: max alloc regress %v must be positive", maxRegress)
+	}
+	curByName := make(map[string]*Figure, len(cur.Figures))
+	for i := range cur.Figures {
+		curByName[cur.Figures[i].Name] = &cur.Figures[i]
+	}
+	var out []AllocDelta
+	for _, bf := range base.Figures {
+		cf, ok := curByName[bf.Name]
+		if !ok || bf.Timing.AllocsPerOp <= minAllocs {
+			continue
+		}
+		axes := []struct {
+			metric    string
+			base, cur int64
+		}{
+			{"allocs/op", bf.Timing.AllocsPerOp, cf.Timing.AllocsPerOp},
+			{"bytes/op", bf.Timing.BytesPerOp, cf.Timing.BytesPerOp},
+		}
+		for _, ax := range axes {
+			if ax.base <= 0 {
+				continue
+			}
+			ratio := float64(ax.cur) / float64(ax.base)
+			if ratio > 1+maxRegress {
+				out = append(out, AllocDelta{
+					Figure: bf.Name, Metric: ax.metric,
+					Base: ax.base, Cur: ax.cur, Ratio: ratio,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Figure != out[j].Figure {
+			return out[i].Figure < out[j].Figure
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out, nil
+}
+
 func checksEqual(a, b map[string]float64) bool {
 	if len(a) != len(b) {
 		return false

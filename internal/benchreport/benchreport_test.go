@@ -254,6 +254,55 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func allocFig(name string, allocs, bytes int64) Figure {
+	return Figure{Name: name, Timing: Timing{WallNs: 1000, NsPerOp: 1000, AllocsPerOp: allocs, BytesPerOp: bytes, Ops: 1}}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	base := New("bench", 1, "small")
+	base.Figures = []Figure{
+		allocFig("steady", 10000, 1<<20),
+		allocFig("allocheavy", 10000, 1<<20),
+		allocFig("byteheavy", 10000, 1<<20),
+		allocFig("tiny", 500, 1<<10),
+		allocFig("zerobase", 0, 0),
+	}
+	cur := New("bench", 1, "small")
+	cur.Figures = []Figure{
+		allocFig("steady", 11000, 1<<20+1<<16), // +10%, inside tolerance
+		allocFig("allocheavy", 20000, 1<<20),   // allocs doubled
+		allocFig("byteheavy", 10000, 1<<22),    // bytes quadrupled
+		allocFig("tiny", 50000, 1<<20),         // 100x, but under the floor
+		allocFig("zerobase", 99999, 1<<30),     // no baseline axis to gate
+	}
+	regs, err := CompareAllocs(base, cur, 0.25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("alloc regressions = %+v, want [allocheavy byteheavy]", regs)
+	}
+	if regs[0].Figure != "allocheavy" || regs[0].Metric != "allocs/op" || regs[0].Ratio != 2.0 {
+		t.Errorf("regs[0] = %+v, want allocheavy allocs/op 2.0x", regs[0])
+	}
+	if regs[1].Figure != "byteheavy" || regs[1].Metric != "bytes/op" || regs[1].Ratio != 4.0 {
+		t.Errorf("regs[1] = %+v, want byteheavy bytes/op 4.0x", regs[1])
+	}
+
+	// Self-compare is clean.
+	regs2, err := CompareAllocs(base, base, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs2) != 0 {
+		t.Errorf("self-compare not clean: %+v", regs2)
+	}
+
+	if _, err := CompareAllocs(base, cur, 0, 0); err == nil {
+		t.Error("non-positive tolerance accepted")
+	}
+}
+
 func TestWriteReadFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.json")
 	if err := WriteFile(path, sampleReport()); err != nil {

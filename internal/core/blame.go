@@ -147,15 +147,20 @@ func (e *BlameEngine) Config() BlameConfig { return e.cfg }
 // linkConfidence evaluates the inner expression of Eq. 3 for one link:
 // each admissible probe contributes a when it saw the link down and
 // (1−a) when it saw it up, averaged over the probes. No probes means no
-// evidence the link was bad (confidence 0).
-func (e *BlameEngine) linkConfidence(judged id.ID, link topology.LinkID, at netsim.Time, exclude map[id.ID]bool) LinkConfidence {
+// evidence the link was bad (confidence 0). It iterates the archive's
+// zero-copy window view and applies the self-exclusion rule inline, so
+// a judgment allocates nothing per link.
+func (e *BlameEngine) linkConfidence(judged id.ID, link topology.LinkID, at netsim.Time) LinkConfidence {
 	from := at.Add(-e.cfg.Delta)
 	to := at.Add(e.cfg.Delta)
-	recs := e.archive.InWindow(link, from, to, exclude)
+	recs := e.archive.Window(link, from, to)
 	lc := LinkConfidence{Link: link}
 	a := e.cfg.ProbeAccuracy
 	var sum float64
 	for _, r := range recs {
+		if e.selfExclusion && r.Prober == judged {
+			continue
+		}
 		if e.filter != nil {
 			var keep bool
 			if r, keep = e.filter(judged, r); !keep {
@@ -179,38 +184,37 @@ func (e *BlameEngine) linkConfidence(judged id.ID, link topology.LinkID, at nets
 // Blame evaluates Eq. 2 for the forwarder judged, whose next-hop IP path
 // is path, for a message sent at time at. The judged node's own probe
 // results are excluded, so it cannot talk its way out of blame (§3.4).
+// The fuzzy-OR accumulates incrementally, so the only allocation is the
+// Evidence slice that escapes into the result.
 func (e *BlameEngine) Blame(judged id.ID, path []topology.LinkID, at netsim.Time) (BlameResult, error) {
 	if len(path) == 0 {
 		return BlameResult{}, fmt.Errorf("core: blame over empty path")
 	}
-	var exclude map[id.ID]bool
-	if e.selfExclusion {
-		exclude = map[id.ID]bool{judged: true}
-	}
 	res := BlameResult{Judged: judged, At: at, Evidence: make([]LinkConfidence, 0, len(path))}
-	confidences := make([]float64, 0, len(path))
-	worstCase := make([]float64, 0, len(path))
+	var orConf, orWorst float64
 	for _, l := range path {
-		lc := e.linkConfidence(judged, l, at, exclude)
+		lc := e.linkConfidence(judged, l, at)
 		res.Evidence = append(res.Evidence, lc)
 		res.TotalProbes += lc.Probes
-		confidences = append(confidences, lc.Confidence)
+		if v := fuzzy.Clamp(lc.Confidence); v > orConf {
+			orConf = v
+		}
 		if lc.Probes < e.cfg.MinProbesPerLink {
 			// Under-evidenced: the link's true confidence could be
 			// anything in [0, 1]; for the lower blame bound assume it
 			// was fully bad (which exonerates the forwarder).
 			res.Degraded = true
-			worstCase = append(worstCase, 1)
-		} else {
-			worstCase = append(worstCase, lc.Confidence)
+			orWorst = 1
+		} else if v := fuzzy.Clamp(lc.Confidence); v > orWorst {
+			orWorst = v
 		}
 		if lc.Confidence > res.WorstLink.Confidence || res.WorstLink.Probes == 0 && lc.Probes > 0 {
 			res.WorstLink = lc
 		}
 	}
 	// Eq. 2: Pr(B faulty) = 1 − Pr(path bad) = 1 − fuzzy-OR over links.
-	res.Blame = fuzzy.Not(fuzzy.Or(confidences...))
-	res.BlameLo = fuzzy.Not(fuzzy.Or(worstCase...))
+	res.Blame = fuzzy.Not(orConf)
+	res.BlameLo = fuzzy.Not(orWorst)
 	if res.Degraded {
 		// Partial or stale evidence: widen rather than convict. The
 		// threshold must clear even under the assumption that every

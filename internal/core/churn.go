@@ -36,6 +36,9 @@ func (s *System) FailNode(failed id.ID) error {
 	}
 	s.Ring = newRing
 	delete(s.Nodes, failed)
+	if s.states != nil {
+		delete(s.states, failed)
+	}
 	kept := s.Order[:0]
 	for _, nid := range s.Order {
 		if nid != failed {
@@ -47,7 +50,9 @@ func (s *System) FailNode(failed id.ID) error {
 	for _, nid := range s.Order {
 		node := s.Nodes[nid]
 		hadPeer := false
-		for _, p := range node.Routing.RoutingPeers() {
+		peers := node.Routing.AppendRoutingPeers(s.peerScratch[:0])
+		s.peerScratch = peers
+		for _, p := range peers {
 			if p == failed {
 				hadPeer = true
 				break
@@ -87,18 +92,25 @@ func (s *System) JoinNode(router topology.RouterID) (id.ID, error) {
 	}
 	s.Nodes[cert.NodeID] = node
 	s.Order = append(s.Order, cert.NodeID)
+	if s.states != nil {
+		s.states[cert.NodeID] = node.Routing
+	}
 	if err := s.rebuildTree(node); err != nil {
 		return id.ID{}, err
 	}
 
 	// Existing nodes fold the newcomer in; trees only change for nodes
-	// that actually gained it as a routing peer.
+	// that actually gained it as a routing peer. Survivors' RoutingState
+	// values mutate in place, so the cached routingStates map needs no
+	// further patching.
 	for _, nid := range s.Order[:len(s.Order)-1] {
 		peer := s.Nodes[nid]
 		if err := peer.Routing.ApplyJoin(cert.NodeID); err != nil {
 			return id.ID{}, fmt.Errorf("core: fold join into %s: %w", nid.Short(), err)
 		}
-		for _, p := range peer.Routing.RoutingPeers() {
+		peers := peer.Routing.AppendRoutingPeers(s.peerScratch[:0])
+		s.peerScratch = peers
+		for _, p := range peers {
 			if p == cert.NodeID {
 				if err := s.rebuildTree(peer); err != nil {
 					return id.ID{}, err
@@ -116,9 +128,15 @@ func (s *System) JoinNode(router topology.RouterID) (id.ID, error) {
 }
 
 // rebuildTree refreshes a node's tomography tree from its current
-// routing peers.
+// routing peers. Only the leaf set changes on churn — the root router
+// and the underlying graph do not — so the expensive BFS is served from
+// the per-router cache and the rebuild pays only path extraction. The
+// replacement tree is freshly allocated (BuildTreeBFS never aliases old
+// storage), so paths captured from the previous tree — in-flight
+// messages, the failure injector's candidate set — stay intact.
 func (s *System) rebuildTree(node *Node) error {
-	peers := node.Routing.RoutingPeers()
+	peers := node.Routing.AppendRoutingPeers(s.peerScratch[:0])
+	s.peerScratch = peers
 	leaves := make([]tomography.Leaf, 0, len(peers))
 	for _, p := range peers {
 		pn, ok := s.Nodes[p]
@@ -127,7 +145,11 @@ func (s *System) rebuildTree(node *Node) error {
 		}
 		leaves = append(leaves, tomography.Leaf{Node: p, Router: pn.Router})
 	}
-	tree, err := tomography.BuildTree(s.Topo, node.ID(), node.Router, leaves)
+	bfs, err := s.bfsFor(node.Router)
+	if err != nil {
+		return fmt.Errorf("core: rebuild tree for %s: %w", node.ID().Short(), err)
+	}
+	tree, err := tomography.BuildTreeBFS(bfs, node.ID(), node.Router, leaves)
 	if err != nil {
 		return fmt.Errorf("core: rebuild tree for %s: %w", node.ID().Short(), err)
 	}

@@ -64,12 +64,41 @@ type DeliveryReport struct {
 }
 
 // routingStates exposes the per-node overlay state for route tracing.
+// The map is built once and patched on membership change (FailNode
+// deletes, JoinNode inserts); repairs to a survivor's state mutate the
+// RoutingState in place, so the cached pointers never go stale. Before
+// this was cached, every message paid an O(N) map rebuild just to route.
 func (s *System) routingStates() map[id.ID]*overlay.RoutingState {
-	states := make(map[id.ID]*overlay.RoutingState, len(s.Nodes))
-	for nid, n := range s.Nodes {
-		states[nid] = n.Routing
+	if s.states == nil {
+		s.states = make(map[id.ID]*overlay.RoutingState, len(s.Nodes))
+		for nid, n := range s.Nodes {
+			s.states[nid] = n.Routing
+		}
 	}
-	return states
+	return s.states
+}
+
+// bfsFor returns the shortest-path tree rooted at router, computing and
+// caching it on first use. The graph is immutable after construction,
+// so cached trees never go stale; the identity check drops the cache in
+// full if the topology were ever swapped out.
+func (s *System) bfsFor(router topology.RouterID) (*topology.RouteTree, error) {
+	if s.bfsGraph != s.Topo {
+		s.bfsCache = nil
+		s.bfsGraph = s.Topo
+	}
+	if t, ok := s.bfsCache[router]; ok {
+		return t, nil
+	}
+	t, err := s.Topo.BFS(router)
+	if err != nil {
+		return nil, err
+	}
+	if s.bfsCache == nil {
+		s.bfsCache = make(map[topology.RouterID]*topology.RouteTree)
+	}
+	s.bfsCache[router] = t
+	return t, nil
 }
 
 // SendMessage routes one stewarded message from src to dst over the
@@ -90,10 +119,15 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 	if _, ok := s.Nodes[dst]; !ok {
 		return nil, fmt.Errorf("core: unknown destination %s", dst.Short())
 	}
-	route, err := overlay.RouteSecure(s.routingStates(), src, dst, 0)
+	// Trace into the route scratch, then copy out exact-size: the route
+	// escapes into the report, the scratch is reused by the next send.
+	routeBuf, err := overlay.AppendRouteSecure(s.routingStates(), src, dst, 0, s.routeScratch[:0])
 	if err != nil {
 		return nil, err
 	}
+	s.routeScratch = routeBuf
+	route := make([]id.ID, len(routeBuf))
+	copy(route, routeBuf)
 	rep := &DeliveryReport{MsgID: srcNode.NextMsgID(), Route: route, Kind: DropNone}
 	s.met.msgsSent.Inc()
 	s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindMessageSent, Node: src, Peer: dst})
@@ -103,15 +137,18 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 	}
 	sendTime := s.Sim.Now()
 
-	// Hop-by-hop IP paths along the route.
-	paths := make([][]topology.LinkID, len(route)-1)
+	// Hop-by-hop IP paths along the route. The paths themselves are
+	// shared tomography-tree storage; the slice-of-slices header is
+	// system scratch reused across sends.
+	paths := s.pathScratch[:0]
 	for i := 0; i+1 < len(route); i++ {
 		p, err := s.Nodes[route[i]].PathToPeer(route[i+1])
 		if err != nil {
 			return nil, err
 		}
-		paths[i] = p
+		paths = append(paths, p)
 	}
+	s.pathScratch = paths
 
 	// Forward pass: find where the message dies. Each leg advances the
 	// virtual clock by its propagation delay, so link state is whatever
@@ -185,11 +222,18 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 		// its upstream peers still judge it.
 		lastSteward = reached - 1
 	}
+	if lastSteward >= 0 {
+		rep.Verdicts = make([]Verdict, 0, lastSteward+1)
+	}
 	for i := 0; i <= lastSteward && i+1 < len(route); i++ {
-		span := append([]topology.LinkID(nil), paths[i]...)
+		// The judgment span lives in system scratch: Blame iterates it
+		// and keeps only per-link values, so nothing aliases it after
+		// the call returns.
+		span := append(s.spanScratch[:0], paths[i]...)
 		if i+1 < len(paths) {
 			span = append(span, paths[i+1]...)
 		}
+		s.spanScratch = span
 		res, err := s.timedBlame(route[i+1], span, now)
 		if err != nil {
 			return nil, err
@@ -243,11 +287,17 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 		// accused by the verdict record, but no signed chain exists.
 		return rep, nil
 	}
-	var links []Accusation
+	links := make([]Accusation, 0, len(rep.Verdicts)-start)
 	for vi := start; vi < len(rep.Verdicts); vi++ {
 		accuser := route[vi]
 		judged := rep.Verdicts[vi].Judged
-		span := append([]topology.LinkID(nil), paths[vi]...)
+		// Accusation spans escape into the signed chain, so each one is
+		// an exact-size copy — never scratch.
+		spanLen := len(paths[vi])
+		if vi+1 < len(paths) {
+			spanLen += len(paths[vi+1])
+		}
+		span := append(make([]topology.LinkID, 0, spanLen), paths[vi]...)
 		if vi+1 < len(paths) {
 			span = append(span, paths[vi+1]...)
 		}

@@ -38,6 +38,10 @@ type Node struct {
 
 	// msgSeq numbers locally originated messages.
 	msgSeq uint64
+	// sweep is the node's probe-sweep callback, created once on first
+	// schedule and reused for every rescheduling (one closure per node,
+	// not per sweep).
+	sweep func()
 }
 
 // ID returns the node's overlay identifier.

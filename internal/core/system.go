@@ -139,6 +139,25 @@ type System struct {
 	// record list, so doing it per probe would be quadratic in practice.
 	lastPrune netsim.Time
 
+	// Hot-path caches and scratch arenas (DESIGN.md §9). All model code
+	// runs in simulator callbacks on one goroutine, so none of this is
+	// locked. states caches the id → routing-state map that route tracing
+	// consumes; churn patches it in place (pointers stay valid because
+	// ApplyJoin/ApplyDeparture mutate states rather than replacing them).
+	// bfsCache holds one shortest-path tree per root router, valid for
+	// the lifetime of the (immutable) graph it was computed against. The
+	// scratch slices are reused across SendMessage and probe sweeps;
+	// anything built in them that escapes into a report or the archive is
+	// copied out first.
+	states       map[id.ID]*overlay.RoutingState
+	bfsCache     map[topology.RouterID]*topology.RouteTree
+	bfsGraph     *topology.Graph
+	obsScratch   []tomography.LinkObservation
+	peerScratch  []id.ID
+	routeScratch []id.ID
+	pathScratch  [][]topology.LinkID
+	spanScratch  []topology.LinkID
+
 	// Chaos-injection hooks: all default-off, so the unperturbed system
 	// consumes exactly the same random stream as before they existed.
 	probeLoss        float64
@@ -429,49 +448,73 @@ func (s *System) SetNodeSilent(nid id.ID, silent bool) error {
 }
 
 func (s *System) scheduleProbe(node *Node) error {
+	// One sweep closure per node, created on first schedule: a probe loop
+	// fires tens of thousands of times over a long run, and allocating a
+	// fresh closure per sweep was a measurable share of steady-state heap
+	// churn.
+	if node.sweep == nil {
+		node.sweep = func() { s.probeSweep(node) }
+	}
 	delay := time.Duration(s.rng.Float64() * float64(s.Config.MaxProbeTime))
-	return s.Sim.ScheduleAfter(delay, func() {
-		if _, ok := s.Nodes[node.ID()]; !ok {
-			// The node departed after this sweep was scheduled: a ghost
-			// must not keep publishing probes, and its loop ends here.
-			s.Counters.GhostProbesStopped++
-			return
-		}
-		if s.probesSuppressed || s.silent[node.ID()] {
-			s.Counters.ProbesSuppressed++
-			s.reschedProbe(node)
-			return
-		}
-		if s.probeLoss > 0 && s.rng.Float64() < s.probeLoss {
-			s.Counters.ProbesLost++
-			s.reschedProbe(node)
-			return
-		}
-		obs, err := tomography.ObserveLinks(s.Net, node.Tree.Links(), s.Config.Blame.ProbeAccuracy, s.rng)
-		if err == nil {
-			s.met.probeSweeps.Inc()
-			s.met.probeBytes.Add(uint64(len(obs) * wiresize.ProbePacket))
-			for i := range node.Tree.Leaves {
-				// Round trip to each leaf in virtual time: the sim-time
-				// probe-RTT distribution of this sweep.
-				s.met.probeRTT.ObserveDuration(2 * s.Net.Latency(node.Tree.Leaves[i].Path))
-			}
-			if s.Config.SignedSnapshots {
-				s.publishSnapshot(node, obs)
-			} else if err := s.Archive.Record(node.ID(), s.Sim.Now(), obs); err != nil {
-				s.Counters.ArchiveRecordErrors++
-			}
-			s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindProbe, Node: node.ID()})
-		}
-		if s.Config.ArchiveRetention > 0 {
-			now := s.Sim.Now()
-			if now.Sub(s.lastPrune) >= s.Config.ArchiveRetention/4 {
-				s.lastPrune = now
-				s.Archive.Prune(now.Add(-s.Config.ArchiveRetention))
-			}
-		}
+	return s.Sim.ScheduleAfter(delay, node.sweep)
+}
+
+// probeSweep runs one lightweight probe sweep for node and reschedules
+// the next.
+func (s *System) probeSweep(node *Node) {
+	if _, ok := s.Nodes[node.ID()]; !ok {
+		// The node departed after this sweep was scheduled: a ghost
+		// must not keep publishing probes, and its loop ends here.
+		s.Counters.GhostProbesStopped++
+		return
+	}
+	if s.probesSuppressed || s.silent[node.ID()] {
+		s.Counters.ProbesSuppressed++
 		s.reschedProbe(node)
-	})
+		return
+	}
+	if s.probeLoss > 0 && s.rng.Float64() < s.probeLoss {
+		s.Counters.ProbesLost++
+		s.reschedProbe(node)
+		return
+	}
+	// The archive copies observations out record by record, so the
+	// unsigned path reuses one scratch slice across every sweep in the
+	// system. Signed snapshots retain obs, so that path keeps a fresh
+	// allocation.
+	var obs []tomography.LinkObservation
+	var err error
+	if s.Config.SignedSnapshots {
+		obs, err = tomography.ObserveLinks(s.Net, node.Tree.Links(), s.Config.Blame.ProbeAccuracy, s.rng)
+	} else {
+		obs, err = tomography.AppendObserveLinks(s.obsScratch[:0], s.Net, node.Tree.Links(), s.Config.Blame.ProbeAccuracy, s.rng)
+		if err == nil {
+			s.obsScratch = obs
+		}
+	}
+	if err == nil {
+		s.met.probeSweeps.Inc()
+		s.met.probeBytes.Add(uint64(len(obs) * wiresize.ProbePacket))
+		for i := range node.Tree.Leaves {
+			// Round trip to each leaf in virtual time: the sim-time
+			// probe-RTT distribution of this sweep.
+			s.met.probeRTT.ObserveDuration(2 * s.Net.Latency(node.Tree.Leaves[i].Path))
+		}
+		if s.Config.SignedSnapshots {
+			s.publishSnapshot(node, obs)
+		} else if err := s.Archive.Record(node.ID(), s.Sim.Now(), obs); err != nil {
+			s.Counters.ArchiveRecordErrors++
+		}
+		s.emit(trace.Event{At: s.Sim.Now(), Kind: trace.KindProbe, Node: node.ID()})
+	}
+	if s.Config.ArchiveRetention > 0 {
+		now := s.Sim.Now()
+		if now.Sub(s.lastPrune) >= s.Config.ArchiveRetention/4 {
+			s.lastPrune = now
+			s.Archive.Prune(now.Add(-s.Config.ArchiveRetention))
+		}
+	}
+	s.reschedProbe(node)
 }
 
 // reschedProbe queues the node's next sweep, surfacing (instead of

@@ -145,21 +145,36 @@ func BuildRoutingState(owner id.ID, ring *Ring, rng stats.Rand) (*RoutingState, 
 
 // RoutingPeers returns the union of the node's secure-table occupants
 // and leaves — the peers it probes for availability and whose IP paths
-// its tomography tree covers (§3.2).
+// its tomography tree covers (§3.2). First-seen order: secure-table
+// occupants row-major, then leaves. Peer counts are a few dozen, so
+// duplicates are stripped by linear scan rather than a map — the
+// churn-time callers rebuild peer lists constantly and must not churn
+// the heap doing it.
 func (rs *RoutingState) RoutingPeers() []id.ID {
-	seen := make(map[id.ID]bool)
-	var out []id.ID
-	for _, p := range rs.Secure.Peers() {
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
+	return rs.AppendRoutingPeers(nil)
+}
+
+// AppendRoutingPeers appends the routing-peer union to out (which may
+// be a reused scratch slice) and returns the extended slice.
+func (rs *RoutingState) AppendRoutingPeers(out []id.ID) []id.ID {
+	start := len(out)
+	appendUniq := func(out []id.ID, p id.ID) []id.ID {
+		for _, q := range out[start:] {
+			if q == p {
+				return out
+			}
+		}
+		return append(out, p)
+	}
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			if p, ok := rs.Secure.Slot(row, col); ok {
+				out = appendUniq(out, p)
+			}
 		}
 	}
-	for _, p := range rs.Leaf.All() {
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
-		}
+	for _, p := range rs.Leaf.members {
+		out = appendUniq(out, p)
 	}
 	return out
 }
@@ -198,8 +213,18 @@ func (rs *RoutingState) nextHop(table *JumpTable, target id.ID) (id.ID, bool) {
 	}
 	// Rare case: the exact slot is empty. Use any known peer strictly
 	// closer to the target than we are (Pastry's rule ensures progress).
+	// Scanned in place — table slots row-major, then leaves, the same
+	// candidate order Peers()+All() produced — so the fallback allocates
+	// nothing on the routing hot path.
 	best, found := rs.Self, false
-	for _, p := range append(table.Peers(), rs.Leaf.All()...) {
+	for row := 0; row < id.Digits; row++ {
+		for col := byte(0); col < id.Base; col++ {
+			if p, ok := table.Slot(row, col); ok && id.Closer(p, best, target) {
+				best, found = p, true
+			}
+		}
+	}
+	for _, p := range rs.Leaf.members {
 		if id.Closer(p, best, target) {
 			best, found = p, true
 		}
@@ -214,20 +239,28 @@ func (rs *RoutingState) nextHop(table *JumpTable, target id.ID) (id.ID, bool) {
 // to target, given every node's routing state. It fails on routing loops
 // or dead ends longer than maxHops.
 func RouteSecure(states map[id.ID]*RoutingState, src, target id.ID, maxHops int) ([]id.ID, error) {
-	return traceRoute(states, src, target, maxHops, (*RoutingState).NextHopSecure)
+	return traceRoute(states, src, target, maxHops, nil, (*RoutingState).NextHopSecure)
+}
+
+// AppendRouteSecure is RouteSecure tracing into a caller-owned scratch
+// slice: the route is appended to out and the extended slice returned.
+// Callers that retain the route beyond their next trace must copy it
+// out.
+func AppendRouteSecure(states map[id.ID]*RoutingState, src, target id.ID, maxHops int, out []id.ID) ([]id.ID, error) {
+	return traceRoute(states, src, target, maxHops, out, (*RoutingState).NextHopSecure)
 }
 
 // RouteStandard traces a route over the standard (proximity) tables.
 func RouteStandard(states map[id.ID]*RoutingState, src, target id.ID, maxHops int) ([]id.ID, error) {
-	return traceRoute(states, src, target, maxHops, (*RoutingState).NextHopStandard)
+	return traceRoute(states, src, target, maxHops, nil, (*RoutingState).NextHopStandard)
 }
 
 func traceRoute(states map[id.ID]*RoutingState, src, target id.ID, maxHops int,
-	next func(*RoutingState, id.ID) (id.ID, bool)) ([]id.ID, error) {
+	out []id.ID, next func(*RoutingState, id.ID) (id.ID, bool)) ([]id.ID, error) {
 	if maxHops <= 0 {
 		maxHops = 2 * id.Digits
 	}
-	route := []id.ID{src}
+	route := append(out, src)
 	at := src
 	for hop := 0; hop < maxHops; hop++ {
 		st, ok := states[at]

@@ -82,7 +82,12 @@ func (t *JumpTable) Density() float64 {
 
 // Peers returns every table occupant, row-major. The slice is fresh.
 func (t *JumpTable) Peers() []id.ID {
-	out := make([]id.ID, 0, t.filled)
+	return t.AppendPeers(make([]id.ID, 0, t.filled))
+}
+
+// AppendPeers appends every table occupant to out, row-major, and
+// returns the extended slice — the allocation-free variant of Peers.
+func (t *JumpTable) AppendPeers(out []id.ID) []id.ID {
 	for row := 0; row < id.Digits; row++ {
 		for col := byte(0); col < id.Base; col++ {
 			if t.present[row][col] {

@@ -123,6 +123,12 @@ func (ls *LeafSet) All() []id.ID {
 	return append([]id.ID(nil), ls.members...)
 }
 
+// AppendAll appends every leaf to out and returns the extended slice —
+// the allocation-free variant of All.
+func (ls *LeafSet) AppendAll(out []id.ID) []id.ID {
+	return append(out, ls.members...)
+}
+
 // Covers reports whether target falls inside the arc spanned by the
 // leaf set (between the farthest predecessor and farthest successor).
 // Pastry delivers directly from the leaf set in that range.

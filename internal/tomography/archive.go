@@ -62,15 +62,26 @@ func (a *Archive) Record(prober id.ID, at netsim.Time, obs []LinkObservation) er
 	return nil
 }
 
-// InWindow returns the probe records for link within [from, to],
-// excluding records from probers in exclude — the rule that a node's own
-// probes never count when judging that node (§3.4).
-func (a *Archive) InWindow(link topology.LinkID, from, to netsim.Time, exclude map[id.ID]bool) []ProbeRecord {
+// Window returns the probe records for link within [from, to] as a
+// zero-copy view into the archive's storage: no filtering, no
+// allocation. The view is valid only until the next Record or Prune
+// call — callers that retain records must copy them out. Blame
+// evaluation, the hot consumer, iterates the view and discards it
+// before returning, so a shared archive never allocates per judgment.
+func (a *Archive) Window(link topology.LinkID, from, to netsim.Time) []ProbeRecord {
 	recs := a.byLink[link]
 	lo := sort.Search(len(recs), func(i int) bool { return recs[i].At >= from })
 	hi := sort.Search(len(recs), func(i int) bool { return recs[i].At > to })
+	return recs[lo:hi]
+}
+
+// InWindow returns the probe records for link within [from, to],
+// excluding records from probers in exclude — the rule that a node's own
+// probes never count when judging that node (§3.4). The result is a
+// fresh slice; prefer Window on hot paths.
+func (a *Archive) InWindow(link topology.LinkID, from, to netsim.Time, exclude map[id.ID]bool) []ProbeRecord {
 	var out []ProbeRecord
-	for _, r := range recs[lo:hi] {
+	for _, r := range a.Window(link, from, to) {
 		if exclude[r.Prober] {
 			continue
 		}
@@ -80,7 +91,10 @@ func (a *Archive) InWindow(link topology.LinkID, from, to netsim.Time, exclude m
 }
 
 // Prune discards records older than before, bounding archive growth over
-// long simulations.
+// long simulations. Surviving records are shifted down in place, so each
+// link's backing array is retained: once a retention-bounded archive
+// reaches steady state, Record appends stop allocating entirely.
+// In-place pruning invalidates any outstanding Window views.
 func (a *Archive) Prune(before netsim.Time) {
 	var dropped int
 	for link, recs := range a.byLink {
@@ -93,9 +107,8 @@ func (a *Archive) Prune(before netsim.Time) {
 			delete(a.byLink, link)
 			continue
 		}
-		kept := make([]ProbeRecord, len(recs)-cut)
-		copy(kept, recs[cut:])
-		a.byLink[link] = kept
+		n := copy(recs, recs[cut:])
+		a.byLink[link] = recs[:n]
 	}
 	if dropped > 0 {
 		a.size -= dropped

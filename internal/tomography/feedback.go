@@ -74,7 +74,7 @@ func VerifyFeedback(est *LossEstimate, cfg FeedbackConfig) ([]SuspiciousLeaf, er
 	total := make([]int, n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			a := est.pairA[i][j]
+			a := est.pairAt(i, j)
 			if a < 0 {
 				continue // no data for this pair
 			}

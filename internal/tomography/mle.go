@@ -109,30 +109,48 @@ func (bt *branchTree) lca(a, b int, depth []int) int {
 	return a
 }
 
-// measurement accumulates stripe outcomes.
+// pairIndex maps an unordered leaf pair to its slot in a flat
+// triangular array: pairs (i, j) with i < j packed row by row.
+func pairIndex(n, i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*n - i*(i+1)/2 + (j - i - 1)
+}
+
+// measurement accumulates stripe outcomes. The per-pair counters live
+// in flat triangular slices rather than dense n×n matrices: half the
+// memory, three allocations total, and cache-friendly sequential access
+// in the estimator's i<j sweeps.
 type measurement struct {
 	n          int
 	trials     []int
 	succ       []int
-	pairTrials [][]int
-	pairSucc   [][]int
+	pairTrials []int // triangular, indexed by pairIndex
+	pairSucc   []int // triangular, indexed by pairIndex
 	stripes    int
 	packets    int
 }
 
 func newMeasurement(n int) *measurement {
-	m := &measurement{
+	return &measurement{
 		n:          n,
 		trials:     make([]int, n),
 		succ:       make([]int, n),
-		pairTrials: make([][]int, n),
-		pairSucc:   make([][]int, n),
+		pairTrials: make([]int, n*(n-1)/2),
+		pairSucc:   make([]int, n*(n-1)/2),
 	}
-	for i := 0; i < n; i++ {
-		m.pairTrials[i] = make([]int, n)
-		m.pairSucc[i] = make([]int, n)
-	}
-	return m
+}
+
+// reset clears the accumulators for reuse across heavyweight probe
+// rounds without reallocating.
+func (m *measurement) reset() {
+	clear(m.trials)
+	clear(m.succ)
+	clear(m.pairTrials)
+	clear(m.pairSucc)
+	m.stripes = 0
+	m.packets = 0
 }
 
 func (m *measurement) record(i int, oki bool, j int, okj bool, isPair bool) {
@@ -148,11 +166,10 @@ func (m *measurement) record(i int, oki bool, j int, okj bool, isPair bool) {
 	if okj {
 		m.succ[j]++
 	}
-	m.pairTrials[i][j]++
-	m.pairTrials[j][i]++
+	k := pairIndex(m.n, i, j)
+	m.pairTrials[k]++
 	if oki && okj {
-		m.pairSucc[i][j]++
-		m.pairSucc[j][i]++
+		m.pairSucc[k]++
 	}
 }
 
@@ -175,8 +192,15 @@ type LossEstimate struct {
 
 	perLink map[topology.LinkID]float64
 	// pairA holds the per-pair ancestor estimates used by the feedback
-	// verifier: pairA[i][j] = P̂_i·P̂_j / P̂_ij for pairs with data.
-	pairA [][]float64
+	// verifier — P̂_i·P̂_j / P̂_ij for pairs with data, −1 otherwise —
+	// in the flat triangular layout of pairIndex.
+	pairA []float64
+}
+
+// pairAt returns the ancestor estimate for the unordered leaf pair
+// (i, j), or −1 when the measurement held no joint data for it.
+func (e *LossEstimate) pairAt(i, j int) float64 {
+	return e.pairA[pairIndex(len(e.Marginals), i, j)]
 }
 
 // LinkLoss returns the inferred loss rate of link l, if l was probed.
@@ -217,29 +241,27 @@ func inferLoss(tree *Tree, bt *branchTree, m *measurement) (*LossEstimate, error
 	// Accumulate A estimates per node from pairs meeting there.
 	sumA := make([]float64, len(bt.parent))
 	cntA := make([]int, len(bt.parent))
-	pairA := make([][]float64, n)
+	pairA := make([]float64, n*(n-1)/2)
 	for i := range pairA {
-		pairA[i] = make([]float64, n)
-		for j := range pairA[i] {
-			pairA[i][j] = -1 // no data
-		}
+		pairA[i] = -1 // no data
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if m.pairTrials[i][j] == 0 || marg[i] <= 0 || marg[j] <= 0 {
+			pk := pairIndex(n, i, j)
+			if m.pairTrials[pk] == 0 || marg[i] <= 0 || marg[j] <= 0 {
 				continue // no joint information in this pair
 			}
 			// Continuity-correct a zero joint count: observing no joint
 			// successes despite healthy marginals is the strongest
 			// possible anomaly and must not be silently skipped.
-			succ := float64(m.pairSucc[i][j])
+			succ := float64(m.pairSucc[pk])
 			if succ == 0 {
 				succ = 0.5
 			}
-			pij := succ / float64(m.pairTrials[i][j])
+			pij := succ / float64(m.pairTrials[pk])
 			a := marg[i] * marg[j] / pij
-			pairA[i][j], pairA[j][i] = a, a
-			if m.pairSucc[i][j] == 0 {
+			pairA[pk] = a
+			if m.pairSucc[pk] == 0 {
 				continue // anomaly only; too noisy for the A estimator
 			}
 			k := bt.lca(bt.leafOf[i], bt.leafOf[j], depth)
@@ -252,9 +274,11 @@ func inferLoss(tree *Tree, bt *branchTree, m *measurement) (*LossEstimate, error
 	// node falls back to its leaf marginal; anything else inherits its
 	// parent (no evidence of loss below the parent).
 	a := make([]float64, len(bt.parent))
-	leafAt := make(map[int][]int)
+	leafCnt := make([]int, len(bt.parent))
+	leafMargSum := make([]float64, len(bt.parent))
 	for li, node := range bt.leafOf {
-		leafAt[node] = append(leafAt[node], li)
+		leafCnt[node]++
+		leafMargSum[node] += marg[li]
 	}
 	for k := range bt.parent {
 		parentA := 1.0
@@ -264,12 +288,8 @@ func inferLoss(tree *Tree, bt *branchTree, m *measurement) (*LossEstimate, error
 		switch {
 		case cntA[k] > 0:
 			a[k] = sumA[k] / float64(cntA[k])
-		case len(leafAt[k]) > 0:
-			var s float64
-			for _, li := range leafAt[k] {
-				s += marg[li]
-			}
-			a[k] = s / float64(len(leafAt[k]))
+		case leafCnt[k] > 0:
+			a[k] = leafMargSum[k] / float64(leafCnt[k])
 		default:
 			a[k] = parentA
 		}

@@ -24,6 +24,17 @@ type Prober struct {
 	packets      *metrics.Counter
 	unreached    *metrics.Counter
 	sweepPackets *metrics.Histogram
+
+	// Scratch arenas, all keyed off the (fixed) tree size and reused
+	// across probe rounds so steady-state sweeps allocate nothing:
+	// ackScratch backs LightweightResult.Acked, fateScratch is the
+	// shared-fate map cleared per stripe, measScratch the heavyweight
+	// accumulator, and btScratch the tree's branching structure (a pure
+	// function of the leaf paths, computed once).
+	ackScratch  []bool
+	fateScratch map[topology.LinkID]bool
+	measScratch *measurement
+	btScratch   *branchTree
 }
 
 // NewProber builds a prober for tree over net.
@@ -46,7 +57,10 @@ func (p *Prober) SetMetrics(reg *metrics.Registry) {
 // LightweightResult is the outcome of one availability-probe sweep: for
 // each leaf, whether any probe (initial or retry) was acknowledged.
 type LightweightResult struct {
-	// Acked[i] corresponds to tree.Leaves[i].
+	// Acked[i] corresponds to tree.Leaves[i]. The slice aliases the
+	// prober's scratch arena: it is valid until that prober's next
+	// sweep, and callers that retain it across sweeps must copy it out
+	// (see CopyAcked).
 	Acked []bool
 	// Packets counts probe packets sent (for bandwidth accounting).
 	Packets int
@@ -59,6 +73,12 @@ type LightweightResult struct {
 	// BackoffTotal is the cumulative delay a live deployment would have
 	// waited between retry rounds under the sweep's backoff schedule.
 	BackoffTotal time.Duration
+}
+
+// CopyAcked returns a fresh copy of the per-leaf ack bits, for callers
+// that keep a sweep's outcome beyond the prober's next sweep.
+func (r *LightweightResult) CopyAcked() []bool {
+	return append([]bool(nil), r.Acked...)
 }
 
 // RetryBudget bounds how hard a prober chases silent leaves before
@@ -102,9 +122,9 @@ func (p *Prober) LightweightProbeBudget(b RetryBudget) LightweightResult {
 	if b.Retries < 0 {
 		b.Retries = 0
 	}
-	res := LightweightResult{Acked: make([]bool, len(p.tree.Leaves))}
+	res := LightweightResult{Acked: p.ackBuffer()}
 	// Initial stripe: one shared fate per link.
-	fate := make(map[topology.LinkID]bool)
+	fate := p.fateBuffer()
 	for i, leaf := range p.tree.Leaves {
 		res.Acked[i] = p.sampleStriped(leaf.Path, fate)
 		res.Packets++
@@ -153,6 +173,29 @@ func (p *Prober) LightweightProbeBudget(b RetryBudget) LightweightResult {
 	p.unreached.Add(uint64(res.Unreached))
 	p.sweepPackets.Observe(int64(res.Packets))
 	return res
+}
+
+// ackBuffer returns the prober's per-leaf ack scratch, sized to the
+// tree and cleared. LightweightResult.Acked aliases it.
+func (p *Prober) ackBuffer() []bool {
+	n := len(p.tree.Leaves)
+	if cap(p.ackScratch) < n {
+		p.ackScratch = make([]bool, n)
+	}
+	p.ackScratch = p.ackScratch[:n]
+	clear(p.ackScratch)
+	return p.ackScratch
+}
+
+// fateBuffer returns the prober's shared-fate scratch map, cleared for
+// a fresh stripe.
+func (p *Prober) fateBuffer() map[topology.LinkID]bool {
+	if p.fateScratch == nil {
+		p.fateScratch = make(map[topology.LinkID]bool, 16)
+	} else {
+		clear(p.fateScratch)
+	}
+	return p.fateScratch
 }
 
 // sampleStriped samples survival along path, reusing fate decisions for
@@ -234,11 +277,23 @@ func (p *Prober) HeavyweightProbe(cfg HeavyweightConfig) (*LossEstimate, error) 
 	if nLeaves == 0 {
 		return nil, fmt.Errorf("tomography: tree %s has no leaves", p.tree.Root.Short())
 	}
-	bt, err := buildBranchTree(p.tree.Leaves)
-	if err != nil {
-		return nil, err
+	// The branching structure is a pure function of the (fixed) leaf
+	// paths, so it is computed once per prober; the measurement scratch
+	// is reset and reused across heavyweight rounds.
+	if p.btScratch == nil {
+		bt, err := buildBranchTree(p.tree.Leaves)
+		if err != nil {
+			return nil, err
+		}
+		p.btScratch = bt
 	}
-	m := newMeasurement(nLeaves)
+	bt := p.btScratch
+	if p.measScratch == nil || p.measScratch.n != nLeaves {
+		p.measScratch = newMeasurement(nLeaves)
+	} else {
+		p.measScratch.reset()
+	}
+	m := p.measScratch
 	if nLeaves == 1 {
 		// Degenerate: only marginal information exists.
 		for s := 0; s < cfg.StripesPerPair; s++ {
@@ -251,7 +306,7 @@ func (p *Prober) HeavyweightProbe(cfg HeavyweightConfig) (*LossEstimate, error) 
 	for i := 0; i < nLeaves; i++ {
 		for j := i + 1; j < nLeaves; j++ {
 			for s := 0; s < cfg.StripesPerPair; s++ {
-				fate := make(map[topology.LinkID]bool)
+				fate := p.fateBuffer()
 				oki := p.sampleStriped(p.tree.Leaves[i].Path, fate)
 				okj := p.sampleStriped(p.tree.Leaves[j].Path, fate)
 				m.record(i, oki, j, okj, true)
@@ -268,16 +323,23 @@ func (p *Prober) HeavyweightProbe(cfg HeavyweightConfig) (*LossEstimate, error) 
 // true status is reported correctly with probability accuracy and
 // inverted otherwise.
 func ObserveLinks(net *netsim.Network, links []topology.LinkID, accuracy float64, rng stats.Rand) ([]LinkObservation, error) {
+	return AppendObserveLinks(nil, net, links, accuracy, rng)
+}
+
+// AppendObserveLinks appends one observation per link to out (which may
+// be a reused scratch slice) and returns the extended slice — the
+// allocation-free variant of ObserveLinks for callers whose consumer
+// copies the observations out (the archive does).
+func AppendObserveLinks(out []LinkObservation, net *netsim.Network, links []topology.LinkID, accuracy float64, rng stats.Rand) ([]LinkObservation, error) {
 	if accuracy < 0.5 || accuracy > 1 || math.IsNaN(accuracy) {
 		return nil, fmt.Errorf("tomography: probe accuracy %v out of [0.5, 1]", accuracy)
 	}
-	out := make([]LinkObservation, len(links))
-	for i, l := range links {
+	for _, l := range links {
 		up := !net.LinkDown(l)
 		if rng.Float64() >= accuracy {
 			up = !up
 		}
-		out[i] = LinkObservation{Link: l, Up: up}
+		out = append(out, LinkObservation{Link: l, Up: up})
 	}
 	return out, nil
 }

@@ -47,19 +47,53 @@ func BuildTree(g *topology.Graph, root id.ID, rootRouter topology.RouterID, peer
 	if err != nil {
 		return nil, fmt.Errorf("tomography: tree root: %w", err)
 	}
+	return BuildTreeBFS(bfs, root, rootRouter, peers)
+}
+
+// BuildTreeBFS derives T_H from a previously computed shortest-path
+// tree, skipping the BFS — the churn path rebuilds many trees against
+// the same immutable graph, so callers cache the RouteTree per root
+// router and pay only path extraction per rebuild. bfs must be rooted
+// at rootRouter over the current graph; a topology change invalidates
+// any cached RouteTree and requires a fresh BFS (see BuildTree).
+//
+// All leaf paths share one flat backing array sized to the exact hop
+// total, so a rebuild costs a constant number of allocations regardless
+// of peer count. The produced tree is freshly allocated and never
+// aliases a previous tree's storage: outstanding references to an old
+// tree's paths (e.g. the failure injector's candidate set) stay intact.
+func BuildTreeBFS(bfs *topology.RouteTree, root id.ID, rootRouter topology.RouterID, peers []Leaf) (*Tree, error) {
+	if bfs == nil {
+		return nil, fmt.Errorf("tomography: nil route tree")
+	}
+	if bfs.Source != rootRouter {
+		return nil, fmt.Errorf("tomography: route tree rooted at %d, want %d", bfs.Source, rootRouter)
+	}
 	t := &Tree{
 		Root:       root,
 		RootRouter: rootRouter,
 		linkSet:    make(map[topology.LinkID]struct{}),
 	}
+	reachable, totalHops := 0, 0
+	for _, p := range peers {
+		if h := bfs.HopCount(p.Router); h >= 0 {
+			reachable++
+			totalHops += h
+		}
+	}
+	t.Leaves = make([]Leaf, 0, reachable)
+	flat := make([]topology.LinkID, 0, totalHops)
 	for _, p := range peers {
 		if !bfs.Reachable(p.Router) {
 			continue
 		}
-		path, err := bfs.PathTo(p.Router)
+		start := len(flat)
+		var err error
+		flat, err = bfs.AppendPathTo(flat, p.Router)
 		if err != nil {
 			return nil, fmt.Errorf("tomography: path to %s: %w", p.Node.Short(), err)
 		}
+		path := flat[start:len(flat):len(flat)]
 		t.Leaves = append(t.Leaves, Leaf{Node: p.Node, Router: p.Router, Path: path})
 		for _, l := range path {
 			if _, seen := t.linkSet[l]; !seen {

@@ -184,13 +184,31 @@ func (t *RouteTree) PathTo(dst RouterID) ([]LinkID, error) {
 	if !t.Reachable(dst) {
 		return nil, fmt.Errorf("topology: router %d unreachable from %d", dst, t.Source)
 	}
-	hops := t.dist[dst]
-	path := make([]LinkID, hops)
-	for at := dst; at != t.Source; at = t.parent[at] {
-		hops--
-		path[hops] = t.parentLink[at]
+	path, err := t.AppendPathTo(make([]LinkID, 0, t.dist[dst]), dst)
+	if err != nil {
+		return nil, err
 	}
 	return path, nil
+}
+
+// AppendPathTo appends the source-to-dst link path to out (which may be
+// a reused or shared backing buffer) and returns the extended slice —
+// the allocation-free variant of PathTo.
+func (t *RouteTree) AppendPathTo(out []LinkID, dst RouterID) ([]LinkID, error) {
+	if !t.Reachable(dst) {
+		return nil, fmt.Errorf("topology: router %d unreachable from %d", dst, t.Source)
+	}
+	start := len(out)
+	hops := int(t.dist[dst])
+	for i := 0; i < hops; i++ {
+		out = append(out, 0)
+	}
+	w := start + hops
+	for at := dst; at != t.Source; at = t.parent[at] {
+		w--
+		out[w] = t.parentLink[at]
+	}
+	return out, nil
 }
 
 // RoutersTo returns the router sequence from source to dst inclusive.
