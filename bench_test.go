@@ -194,6 +194,35 @@ func BenchmarkFig4Coverage(b *testing.B) {
 	b.ReportMetric(own, "own-tree-coverage")
 }
 
+// BenchmarkBuildSystem measures deterministic system construction — the
+// full topology + keygen + certificate + routing-table + tree pipeline —
+// at several worker-pool sizes. The keygen and routing phases fan out
+// across the pool; the canonical snapshot is byte-identical for every
+// count (pinned by TestBuildSystemWorkerInvariance), so the sweep
+// measures pure engine overhead. allocs/op is part of the CI gate: the
+// build costs ~69 allocs per overlay node, and growth past the
+// -max-alloc-regress tolerance fails benchdiff.
+func BenchmarkBuildSystem(b *testing.B) {
+	var speedup speedupReporter
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchSystemConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				s, err := core.BuildSystem(cfg, benchRand())
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = len(s.Order)
+			}
+			speedup.report(b, workers)
+			b.ReportMetric(float64(nodes), "overlay-nodes")
+		})
+	}
+}
+
 // BenchmarkSendMessageWarm measures the steady-state diagnosis hot
 // path: one stewarded message on a warm system with probing running and
 // scratch arenas grown. The allocs/op figure is the headline — the

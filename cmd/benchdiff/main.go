@@ -21,6 +21,11 @@
 // differ from the baseline's (same-seed comparisons only).
 // -canonical fails unless both reports' deterministic cores are
 // byte-identical — the worker-count invariance check.
+// -figures name1,name2 restricts both reports to the named figures
+// before any comparison, so a partial run (e.g. the scale-smoke job's
+// scale-only report) can be gated against a full baseline without the
+// baseline's other figures counting as MISSING. Naming a figure absent
+// from both reports is an error — it catches a stale CI invocation.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"flag"
 
@@ -49,6 +55,7 @@ func run(w io.Writer, args []string) error {
 	minAllocs := fs.Int64("min-allocs", 1000, "exempt figures whose baseline allocs/op is at or below this from the allocation gate")
 	requireChecks := fs.Bool("require-checks", false, "fail when deterministic check values diverge from the baseline")
 	canonical := fs.Bool("canonical", false, "fail unless both reports' deterministic cores are byte-identical")
+	figures := fs.String("figures", "", "comma-separated figure names; restrict both reports to these before comparing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +69,11 @@ func run(w io.Writer, args []string) error {
 	cur, err := benchreport.ReadFile(fs.Arg(1))
 	if err != nil {
 		return err
+	}
+	if *figures != "" {
+		if err := restrictFigures(base, cur, *figures); err != nil {
+			return err
+		}
 	}
 
 	res, err := benchreport.Compare(base, cur, *maxRegress, *minNs)
@@ -121,6 +133,39 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("gate failed")
 	}
 	fmt.Fprintf(w, "gate passed\n")
+	return nil
+}
+
+// restrictFigures drops every figure not named in the comma-separated
+// list from both reports, keeping declaration order. A name matched by
+// neither report is an error: the invoking CI job asked to gate a
+// figure nobody produces.
+func restrictFigures(base, cur *benchreport.Report, list string) error {
+	want := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("-figures: empty figure name in %q", list)
+		}
+		want[name] = false
+	}
+	keep := func(r *benchreport.Report) {
+		kept := r.Figures[:0]
+		for _, f := range r.Figures {
+			if _, ok := want[f.Name]; ok {
+				want[f.Name] = true
+				kept = append(kept, f)
+			}
+		}
+		r.Figures = kept
+	}
+	keep(base)
+	keep(cur)
+	for name, seen := range want {
+		if !seen {
+			return fmt.Errorf("-figures: %q matches no figure in either report", name)
+		}
+	}
 	return nil
 }
 

@@ -172,6 +172,45 @@ func TestCanonicalMode(t *testing.T) {
 	}
 }
 
+func TestFiguresFilter(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	// Partial current report: only fig1, as a scale-smoke-style job
+	// would produce. Unfiltered, the dropped figure fails the gate.
+	cur := writeReport(t, dir, "cur.json", func(r *benchreport.Report) {
+		r.Figures = r.Figures[:1]
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{base, cur}); err == nil {
+		t.Fatalf("unfiltered gate passed despite missing figure:\n%s", buf.String())
+	}
+
+	// Restricted to fig1, the partial report gates cleanly.
+	buf.Reset()
+	if err := run(&buf, []string{"-figures", "fig1", base, cur}); err != nil {
+		t.Fatalf("-figures fig1 gate failed: %v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "MISSING") {
+		t.Errorf("filtered gate still reports MISSING:\n%s", buf.String())
+	}
+
+	// The filter still catches a real regression in the kept figure.
+	reg := writeReport(t, dir, "reg.json", func(r *benchreport.Report) {
+		r.Figures = r.Figures[:1]
+		r.Figures[0].Timing.NsPerOp = 2000000
+	})
+	buf.Reset()
+	if err := run(&buf, []string{"-figures", "fig1", base, reg}); err == nil {
+		t.Fatalf("filtered gate passed despite 2x regression:\n%s", buf.String())
+	}
+
+	// A name matching neither report is a configuration error.
+	buf.Reset()
+	if err := run(&buf, []string{"-figures", "no-such-fig", base, cur}); err == nil {
+		t.Fatal("-figures accepted a name absent from both reports")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"only-one.json"}); err == nil {

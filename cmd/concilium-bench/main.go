@@ -4,13 +4,15 @@
 // Usage:
 //
 //	concilium-bench [-fig N] [-scale small|default|treelike|paper] [-seed N] [-format text|csv] [-workers N]
-//	                [-json report.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                [-scale-n N,N,...] [-json report.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Figures: 1 (occupancy model), 2 (density errors), 3 (density errors
 // under suppression), 4 (forest coverage), 5 (blame PDFs + §4.3 rates),
-// 6 (accusation error vs m), 7 (§4.4 bandwidth), plus two extensions:
-// 8 (collusion-fraction sweep) and 9 (median-consensus suppression
-// defense). -fig 0 runs the paper's seven.
+// 6 (accusation error vs m), 7 (§4.4 bandwidth), plus extensions:
+// 8 (collusion-fraction sweep), 9 (median-consensus suppression
+// defense), and 10 (BuildSystem scale at the -scale-n overlay sizes).
+// -fig 0 runs the paper's seven in text mode, plus figure 10 in
+// benchmark mode.
 //
 // -json switches to benchmark mode: every selected figure runs against
 // a per-figure derived seed (independent of the shared-stream text
@@ -53,17 +55,22 @@ func run(w io.Writer, args []string) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	format := fs.String("format", "text", "output format: text or csv")
 	workers := fs.Int("workers", 0, "worker pool size for parallel trials (0 = GOMAXPROCS); results are identical for any value")
+	scaleN := fs.String("scale-n", "1000,5000,20000", "comma-separated overlay sizes for the Scale figure (-fig 10)")
 	jsonPath := fs.String("json", "", "write a machine-readable bench report to this path (benchmark mode)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write an allocs-space heap profile to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	scaleNs, err := parseScaleNs(*scaleN)
+	if err != nil {
+		return err
+	}
 	stopCPU, err := profiling.StartCPU(*cpuProfile)
 	if err != nil {
 		return err
 	}
-	err = runMode(w, *jsonPath, *fig, *scale, *seed, *format, *workers)
+	err = runMode(w, *jsonPath, *fig, *scale, *seed, *format, *workers, scaleNs)
 	if cerr := stopCPU(); err == nil {
 		err = cerr
 	}
@@ -73,7 +80,7 @@ func run(w io.Writer, args []string) error {
 	return err
 }
 
-func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, format string, workers int) error {
+func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, format string, workers int, scaleNs []int) error {
 	var render renderer
 	switch format {
 	case "text":
@@ -103,16 +110,29 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 	figs := []int{fig}
 	if fig == 0 {
 		figs = []int{1, 2, 3, 4, 5, 6, 7}
+		if jsonPath != "" {
+			figs = append(figs, scaleFig)
+		}
 	}
 
 	if jsonPath != "" {
-		return runBenchmark(w, jsonPath, figs, topoCfg, overlayFrac, scale, seed, workers, render)
+		return runBenchmark(w, jsonPath, figs, topoCfg, overlayFrac, scale, seed, workers, scaleNs, render)
 	}
 
 	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	for _, f := range figs {
 		start := time.Now()
-		if _, err := runFig(w, render, f, topoCfg, overlayFrac, workers, rng); err != nil {
+		if f == scaleFig {
+			// The Scale figure draws from the benchmark-mode substream
+			// family so its checks match -json runs at the same seed.
+			scaleFigs, err := runScale(io.Discard, scaleNs, parexec.NewSeed(seed, seed^0xbe9c5c95c4b4f12d), workers)
+			if err != nil {
+				return fmt.Errorf("figure %d: %w", f, err)
+			}
+			if err := render.table(w, scaleTable(scaleFigs)); err != nil {
+				return fmt.Errorf("figure %d: %w", f, err)
+			}
+		} else if _, err := runFig(w, render, f, topoCfg, overlayFrac, workers, rng); err != nil {
 			return fmt.Errorf("figure %d: %w", f, err)
 		}
 		if format == "text" {
@@ -128,7 +148,7 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 // random streams — the tool asserts their deterministic check values
 // match, which is what makes the report's canonical part worker-count
 // invariant by construction.
-func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Config, overlayFrac float64, scale string, seed uint64, workers int, render renderer) error {
+func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Config, overlayFrac float64, scale string, seed uint64, workers int, scaleNs []int, render renderer) error {
 	resolved := parexec.Workers(workers)
 	root := parexec.NewSeed(seed, seed^0xbe9c5c95c4b4f12d)
 	report := benchreport.New("concilium-bench", seed, scale)
@@ -142,6 +162,14 @@ func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Con
 	}
 
 	for _, f := range figs {
+		if f == scaleFig {
+			scaleFigs, err := runScale(w, scaleNs, root, workers)
+			if err != nil {
+				return err
+			}
+			report.Figures = append(report.Figures, scaleFigs...)
+			continue
+		}
 		name := fmt.Sprintf("fig%d", f)
 		measure := func(nWorkers int) (map[string]float64, benchreport.Timing, error) {
 			return measureFig(render, f, topoCfg, overlayFrac, nWorkers, root.Stream(uint64(f)))
@@ -487,7 +515,7 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 		return checks, nil
 
 	default:
-		return nil, fmt.Errorf("unknown figure %d (valid: 1-9)", fig)
+		return nil, fmt.Errorf("unknown figure %d (valid: 1-10)", fig)
 	}
 }
 

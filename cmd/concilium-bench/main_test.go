@@ -171,6 +171,68 @@ func TestRunJSONWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestRunScaleFigure exercises figure 10 end to end at tiny sizes: the
+// JSON report must carry one figure per requested N with populated
+// deterministic checks and timing, text mode must render the table, and
+// a 1k-only subset at the same seed must reproduce the same checks as
+// the multi-size run (the per-N substream contract).
+func TestRunScaleFigure(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	report := func(name, scaleN, workers string) *benchreport.Report {
+		path := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-fig", "10", "-scale-n", scaleN, "-seed", "5", "-workers", workers, "-json", path}); err != nil {
+			t.Fatalf("scale-n=%s workers=%s: %v\n%s", scaleN, workers, err, buf.String())
+		}
+		rep, err := benchreport.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	full := report("full.json", "60,120", "4")
+	for _, name := range []string{"scale-n60", "scale-n120"} {
+		fig := full.Figure(name)
+		if fig == nil {
+			t.Fatalf("report missing %s: %+v", name, full.Figures)
+		}
+		if fig.Checks["overlay_n"] <= 0 || fig.Checks["canonical_hash"] <= 0 {
+			t.Errorf("%s checks unpopulated: %v", name, fig.Checks)
+		}
+		if fig.Timing.WallNs <= 0 || fig.Timing.Ops <= 0 || fig.Timing.SpeedupX <= 0 {
+			t.Errorf("%s timing unpopulated: %+v", name, fig.Timing)
+		}
+	}
+
+	// Subset and worker-count invariance: the scale-n60 checks must not
+	// depend on which other sizes ran or on the pool size.
+	sub := report("sub.json", "60", "1")
+	fullFig, subFig := full.Figure("scale-n60"), sub.Figure("scale-n60")
+	for key, want := range fullFig.Checks {
+		if got := subFig.Checks[key]; got != want {
+			t.Errorf("scale-n60 %s: %v in full run, %v in subset run", key, want, got)
+		}
+	}
+
+	// Text mode renders the table.
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "10", "-scale-n", "60", "-seed", "5"}); err != nil {
+		t.Fatalf("text mode: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BuildSystem scale") {
+		t.Errorf("text output missing scale table:\n%s", buf.String())
+	}
+
+	// Bad -scale-n values are rejected.
+	if err := run(&buf, []string{"-fig", "10", "-scale-n", "0"}); err == nil {
+		t.Error("scale-n 0 accepted")
+	}
+	if err := run(&buf, []string{"-fig", "10", "-scale-n", "x"}); err == nil {
+		t.Error("non-numeric scale-n accepted")
+	}
+}
+
 func TestRunProfileFlags(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

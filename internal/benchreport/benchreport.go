@@ -32,9 +32,11 @@ import (
 )
 
 // Schema identifies the report format; Version is its revision.
+// Version history: 1 — initial layout; 2 — Timing gains peak_rss_bytes
+// (the Scale figure's resident-memory high-water mark).
 const (
 	Schema  = "concilium/bench-report"
-	Version = 1
+	Version = 2
 )
 
 // Timing is one figure's performance envelope — all wall-clock derived,
@@ -54,6 +56,12 @@ type Timing struct {
 	SpeedupX float64 `json:"speedup_x,omitempty"`
 	// Ops is the operation count NsPerOp was computed over.
 	Ops int64 `json:"ops"`
+	// PeakRSSBytes is the process's resident-set high-water mark after
+	// the figure ran (getrusage ru_maxrss; 0 where unsupported). The
+	// counter is process-lifetime monotone, so within one run only the
+	// largest figure's value is meaningful — the Scale figure runs its
+	// node counts ascending for exactly that reason.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Figure is one benchmarked unit of work — a paper figure in

@@ -33,6 +33,11 @@ func sampleReport() *Report {
 			Timing: Timing{WallNs: 1500000, NsPerOp: 1500, AllocsPerOp: 12, BytesPerOp: 768, SpeedupX: 3.5, Ops: 1000},
 		},
 		{
+			Name:   "scale-n1000",
+			Checks: map[string]float64{"overlay_n": 1000, "canonical_hash": 123456789},
+			Timing: Timing{WallNs: 2000000000, NsPerOp: 2000000, AllocsPerOp: 900, BytesPerOp: 65536, SpeedupX: 2.5, Ops: 1000, PeakRSSBytes: 1 << 28},
+		},
+		{
 			Name:   "chaos-short",
 			Checks: map[string]float64{"sent": 40, "delivered": 37, "invariants_ok": 1},
 			Timing: Timing{WallNs: 500000000, NsPerOp: 12500000, Ops: 40},
@@ -57,7 +62,7 @@ func TestGoldenReport(t *testing.T) {
 	if err := Encode(&buf, sampleReport()); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "report_v1.json")
+	golden := filepath.Join("testdata", "report_v2.json")
 	if *update {
 		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
@@ -75,8 +80,11 @@ func TestGoldenReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Seed != 42 || len(r.Figures) != 2 || r.Figure("fig1") == nil {
+	if r.Seed != 42 || len(r.Figures) != 3 || r.Figure("fig1") == nil {
 		t.Fatalf("golden decoded wrong: %+v", r)
+	}
+	if r.Figure("scale-n1000").Timing.PeakRSSBytes != 1<<28 {
+		t.Fatalf("golden dropped peak RSS: %+v", r.Figure("scale-n1000").Timing)
 	}
 }
 
@@ -134,11 +142,16 @@ func TestValidateRejects(t *testing.T) {
 }
 
 func TestDecodeRejectsUnknownFieldsAndStaleSchema(t *testing.T) {
-	if _, err := Decode(strings.NewReader(`{"schema":"concilium/bench-report","version":1,"seed":1,"figures":[],"metrics":{},"env":{},"surprise":true}`)); err == nil {
+	if _, err := Decode(strings.NewReader(`{"schema":"concilium/bench-report","version":2,"seed":1,"figures":[],"metrics":{},"env":{},"surprise":true}`)); err == nil {
 		t.Error("unknown field accepted")
 	}
 	if _, err := Decode(strings.NewReader(`{"schema":"concilium/bench-report","version":99,"seed":1,"figures":[],"metrics":{},"env":{}}`)); err == nil {
 		t.Error("future version accepted")
+	}
+	// A v1 baseline (no peak_rss_bytes yet) must fail loudly, forcing a
+	// baseline refresh rather than a garbage comparison.
+	if _, err := Decode(strings.NewReader(`{"schema":"concilium/bench-report","version":1,"seed":1,"figures":[],"metrics":{},"env":{}}`)); err == nil {
+		t.Error("stale version accepted")
 	}
 }
 

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"concilium/internal/topology"
+)
+
+// buildAllocBudgetPerNode is the per-overlay-node allocation ceiling for
+// BuildSystem. The parallel build costs ~69 allocs per node (keypair,
+// certificate, routing tables, BFS tree — the structures that must
+// escape into the System), measured stable from the 42-node test
+// topology up to 20k-node scale runs. The budget leaves slack for
+// runtime noise; if a change pushes past it, a per-node temporary crept
+// into the build loops (the pooled BFS scratch, peer buffers, or bulk
+// leaf-set fill stopped being reused).
+const buildAllocBudgetPerNode = 90
+
+// TestBuildSystemAllocBudget locks in the build path's allocation
+// profile: constructing a full system must stay within the per-node
+// budget. Run at workers=1 so AllocsPerRun attributes every allocation
+// to the calling goroutine deterministically.
+func TestBuildSystemAllocBudget(t *testing.T) {
+	cfg := DefaultSystemConfig()
+	cfg.Topology = topology.TestConfig()
+	cfg.OverlayFraction = 0.5
+	cfg.Workers = 1
+	var nodes int
+	n := testing.AllocsPerRun(10, func() {
+		rng := rand.New(rand.NewPCG(7, 11))
+		s, err := BuildSystem(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = len(s.Order)
+	})
+	perNode := n / float64(nodes)
+	if perNode > buildAllocBudgetPerNode {
+		t.Errorf("BuildSystem allocates %.1f/node (%d nodes), budget %d",
+			perNode, nodes, buildAllocBudgetPerNode)
+	}
+}

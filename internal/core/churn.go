@@ -75,7 +75,7 @@ func (s *System) FailNode(failed id.ID) error {
 // existing node folds it in incrementally.
 func (s *System) JoinNode(router topology.RouterID) (id.ID, error) {
 	keys := sigcrypto.KeyPairFromRand(s.rng)
-	cert, err := s.CA.Issue(fmt.Sprintf("host-%d", router), keys.Public)
+	cert, err := s.CA.Issue(hostAddr(router), keys.Public)
 	if err != nil {
 		return id.ID{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"concilium/internal/id"
@@ -58,10 +59,12 @@ type SystemConfig struct {
 	// uncontended atomic adds per event, and every metric except the
 	// reserved wall-clock class is deterministic for a fixed seed.
 	Metrics *metrics.Registry
-	// Workers bounds the worker pool used for the parallelizable parts
-	// of system construction — per-node tomography-tree building, which
-	// consumes no randomness (<= 0 selects GOMAXPROCS). The built system
-	// is identical for every worker count.
+	// Workers bounds the worker pool used for the parallel parts of
+	// system construction: per-node keygen and certificate issuance,
+	// routing-state fills, and tomography-tree building (<= 0 selects
+	// GOMAXPROCS). Per-node randomness comes from substreams indexed by
+	// node position, so the built system is byte-identical for every
+	// worker count; see BuildSystem for the determinism contract.
 	Workers int
 }
 
@@ -228,6 +231,25 @@ func newSystemMetrics(r *metrics.Registry) systemMetrics {
 // rng: topology, certificates, routing state, and tomography trees. No
 // events are scheduled yet; call StartProbing and StartFailures, then
 // drive s.Sim.
+//
+// Construction is parallel but scheduling-independent. The contract
+// (DESIGN.md §10):
+//
+//   - The shared rng is consumed only by the serial prefix — topology,
+//     host permutation, the CA keypair — and by a single SeedFrom call
+//     that derives the build's substream family. Node i then draws
+//     exclusively from its own substreams: Stream(2i) for keygen and
+//     identifier assignment, Stream(2i+1) for routing-state fills.
+//   - Phase 1 (keygen/issuance) writes index-addressed slots; the merge
+//     back into Nodes/Order/members is serial in index order, including
+//     the (vanishingly rare) identifier-collision redraws, which come
+//     from the colliding node's own substream.
+//   - Phase 2 (routing state + tomography trees) runs against the
+//     completed ring and node table, both read-only from that point;
+//     each worker reuses private BFS and leaf scratch, fully
+//     overwritten per node.
+//
+// The result is byte-identical for every Workers value, including 1.
 func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -284,18 +306,48 @@ func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 	}
 	s.Archive.SetMetrics(cfg.Metrics)
 
-	members := make([]id.ID, 0, nOverlay)
-	for i := 0; i < nOverlay; i++ {
-		router := hosts[perm[i]]
-		keys := sigcrypto.KeyPairFromRand(rng)
-		cert, err := ca.Issue(fmt.Sprintf("host-%d", router), keys.Public)
+	// Last shared-rng draws of the build: everything per-node below comes
+	// from substreams of buildSeed, indexed by node position.
+	buildSeed := parexec.SeedFrom(rng)
+
+	// Phase 1: keygen and certificate issuance, fanned out. Ed25519
+	// signing is deterministic and IssueFor touches no authority state,
+	// so slot i's certificate depends only on its substream.
+	type issuedSlot struct {
+		keys sigcrypto.KeyPair
+		cert sigcrypto.Certificate
+		rng  stats.Rand
+	}
+	slots := make([]issuedSlot, nOverlay)
+	err = parexec.ForEachWorker(cfg.Workers, nOverlay, "build-keygen", func(_, i int) error {
+		stream := buildSeed.Stream(2 * uint64(i))
+		keys := sigcrypto.KeyPairFromRand(stream)
+		cert, err := ca.IssueFor(hostAddr(hosts[perm[i]]), id.Random(stream), keys.Public)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		node := &Node{Cert: cert, Keys: keys, Router: router}
-		s.Nodes[cert.NodeID] = node
-		s.Order = append(s.Order, cert.NodeID)
-		members = append(members, cert.NodeID)
+		slots[i] = issuedSlot{keys: keys, cert: cert, rng: stream}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Serial merge in index order. Identifier collisions (~2^-128 per
+	// pair) redraw from the colliding node's own substream, so even that
+	// path is scheduling-independent.
+	members := make([]id.ID, 0, nOverlay)
+	for i := range slots {
+		slot := &slots[i]
+		for ca.Claim(slot.cert.NodeID) != nil {
+			slot.cert, err = ca.IssueFor(slot.cert.Addr, id.Random(slot.rng), slot.keys.Public)
+			if err != nil {
+				return nil, err
+			}
+		}
+		node := &Node{Cert: slot.cert, Keys: slot.keys, Router: hosts[perm[i]]}
+		s.Nodes[slot.cert.NodeID] = node
+		s.Order = append(s.Order, slot.cert.NodeID)
+		members = append(members, slot.cert.NodeID)
 	}
 	s.Ring, err = overlay.NewRing(members)
 	if err != nil {
@@ -308,25 +360,35 @@ func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 		s.Nodes[s.Order[i]].Behavior = Behavior{DropsMessages: true, InvertsProbes: true}
 	}
 
-	// Routing state first, serially: it consumes the shared rng, and the
-	// draw order must not depend on scheduling.
-	for _, nid := range s.Order {
-		node := s.Nodes[nid]
-		node.Routing, err = overlay.BuildRoutingState(nid, s.Ring, rng)
-		if err != nil {
-			return nil, err
-		}
+	// Phase 2: routing state and tomography trees, fanned out. The ring
+	// and node table are complete and read-only from here; node i's
+	// standard-table draws come from Stream(2i+1), and each worker reuses
+	// its own BFS and leaf scratch (fully overwritten per node).
+	type buildScratch struct {
+		bfs    topology.BFSScratch
+		peers  []id.ID
+		leaves []tomography.Leaf
 	}
-	// Tomography trees in parallel: BuildTree is a pure function of the
-	// immutable graph and each node's routing peers, so per-node trees
-	// fan out across workers with identical results at any worker count.
-	err = parexec.ForEach(cfg.Workers, len(s.Order), func(i int) error {
-		node := s.Nodes[s.Order[i]]
-		leaves := make([]tomography.Leaf, 0, 96)
-		for _, p := range node.Routing.RoutingPeers() {
-			leaves = append(leaves, tomography.Leaf{Node: p, Router: s.Nodes[p].Router})
+	scratch := make([]buildScratch, parexec.Workers(cfg.Workers))
+	err = parexec.ForEachWorker(cfg.Workers, len(s.Order), "build-routing", func(w, i int) error {
+		sc := &scratch[w]
+		nid := s.Order[i]
+		node := s.Nodes[nid]
+		routing, err := overlay.BuildRoutingState(nid, s.Ring, buildSeed.Stream(2*uint64(i)+1))
+		if err != nil {
+			return err
 		}
-		tree, err := tomography.BuildTree(graph, s.Order[i], node.Router, leaves)
+		node.Routing = routing
+		sc.peers = routing.AppendRoutingPeers(sc.peers[:0])
+		sc.leaves = sc.leaves[:0]
+		for _, p := range sc.peers {
+			sc.leaves = append(sc.leaves, tomography.Leaf{Node: p, Router: s.Nodes[p].Router})
+		}
+		bfs, err := graph.BFSInto(&sc.bfs, node.Router)
+		if err != nil {
+			return err
+		}
+		tree, err := tomography.BuildTreeBFS(bfs, nid, node.Router, sc.leaves)
 		if err != nil {
 			return err
 		}
@@ -346,6 +408,13 @@ func BuildSystem(cfg SystemConfig, rng stats.Rand) (*System, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// hostAddr formats a node's network address from its attachment router.
+// strconv.Itoa instead of fmt.Sprintf: issuance runs once per node and
+// the Sprintf boxing showed up in build-phase profiles.
+func hostAddr(router topology.RouterID) string {
+	return "host-" + strconv.Itoa(int(router))
 }
 
 // collusionFilter implements the §4.3 adversary: colluding probers

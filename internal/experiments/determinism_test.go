@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"math/rand/v2"
 	"reflect"
 	"testing"
 	"time"
 
 	"concilium/internal/core"
+	"concilium/internal/metrics"
 	"concilium/internal/topology"
 )
 
@@ -91,27 +93,42 @@ func TestFig5WorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestBuildSystemWorkerInvariance pins the parallel-build determinism
+// contract (DESIGN.md §10) at build level: for each seed, the canonical
+// system snapshot — identifiers, certificates, routing tables, trees —
+// and the canonical metrics core of a short probing run must be
+// byte-identical for workers ∈ {1, 4, 8}.
 func TestBuildSystemWorkerInvariance(t *testing.T) {
-	build := func(workers int) *core.System {
-		t.Helper()
-		cfg := core.DefaultSystemConfig()
-		cfg.Topology = topology.TestConfig()
-		cfg.OverlayFraction = 0.5
-		cfg.Workers = workers
-		sys, err := core.BuildSystem(cfg, detRand())
-		if err != nil {
-			t.Fatalf("BuildSystem workers=%d: %v", workers, err)
+	for _, seed := range []uint64{1, 7, 42} {
+		build := func(workers int) ([]byte, metrics.Snapshot) {
+			t.Helper()
+			reg := metrics.NewRegistry()
+			cfg := core.DefaultSystemConfig()
+			cfg.Topology = topology.TestConfig()
+			cfg.OverlayFraction = 0.5
+			cfg.MaliciousFraction = 0.2
+			cfg.Metrics = reg
+			cfg.Workers = workers
+			rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+			sys, err := core.BuildSystem(cfg, rng)
+			if err != nil {
+				t.Fatalf("BuildSystem seed=%d workers=%d: %v", seed, workers, err)
+			}
+			if err := sys.StartProbing(); err != nil {
+				t.Fatalf("StartProbing seed=%d workers=%d: %v", seed, workers, err)
+			}
+			sys.Run(5 * time.Minute)
+			return sys.AppendCanonical(nil), reg.Snapshot().Canonical()
 		}
-		return sys
-	}
-	serial, parallel := build(1), build(8)
-	if !reflect.DeepEqual(serial.Order, parallel.Order) {
-		t.Fatalf("node order differs between worker counts")
-	}
-	for _, nid := range serial.Order {
-		st, pt := serial.Nodes[nid].Tree, parallel.Nodes[nid].Tree
-		if !reflect.DeepEqual(st, pt) {
-			t.Fatalf("tomography tree for %v differs between worker counts", nid)
+		refSnap, refMet := build(1)
+		for _, workers := range []int{4, 8} {
+			snap, met := build(workers)
+			if !bytes.Equal(refSnap, snap) {
+				t.Errorf("seed %d: canonical snapshot differs between workers=1 and workers=%d", seed, workers)
+			}
+			if !met.Equal(refMet) {
+				t.Errorf("seed %d: canonical metrics differ between workers=1 and workers=%d", seed, workers)
+			}
 		}
 	}
 }

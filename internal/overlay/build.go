@@ -9,17 +9,16 @@ import (
 
 // BuildLeafSet fills a leaf set for owner from the ring's true
 // membership: the perSide numerically closest live peers on each side.
+// The offered peers are each side's nearest neighbors, so none is ever
+// pruned; insertBulk therefore matches sequential Insert calls exactly
+// while paying for one rebuild instead of one per peer.
 func BuildLeafSet(owner id.ID, ring *Ring, perSide int) (*LeafSet, error) {
 	ls, err := NewLeafSet(owner, perSide)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range ring.NeighborsClockwise(owner, perSide) {
-		ls.Insert(p)
-	}
-	for _, p := range ring.NeighborsCounterClockwise(owner, perSide) {
-		ls.Insert(p)
-	}
+	ls.insertBulk(ring.NeighborsClockwise(owner, perSide),
+		ring.NeighborsCounterClockwise(owner, perSide))
 	return ls, nil
 }
 
@@ -30,7 +29,6 @@ func BuildLeafSet(owner id.ID, ring *Ring, perSide int) (*LeafSet, error) {
 // mean no live host qualifies.
 func BuildSecureTable(owner id.ID, ring *Ring) (*JumpTable, error) {
 	t := NewJumpTable(owner)
-	skip := map[id.ID]bool{owner: true}
 	for row := 0; row < id.Digits; row++ {
 		for col := byte(0); col < id.Base; col++ {
 			if owner.Digit(row) == col {
@@ -39,7 +37,7 @@ func BuildSecureTable(owner id.ID, ring *Ring) (*JumpTable, error) {
 				continue
 			}
 			target := owner.WithDigit(row, col)
-			cand, ok := ring.ClosestWithPrefix(target, row+1, skip)
+			cand, ok := ring.ClosestWithPrefixExcl(target, row+1, owner)
 			if !ok {
 				continue
 			}
@@ -49,7 +47,7 @@ func BuildSecureTable(owner id.ID, ring *Ring) (*JumpTable, error) {
 		}
 		// Deeper rows require ever-longer shared prefixes; once the
 		// owner's prefix is unique in the ring no deeper slot can fill.
-		if _, any := ring.ClosestWithPrefix(owner, row+1, skip); !any {
+		if !ring.HasOtherWithPrefix(owner, row+1, owner) {
 			break
 		}
 	}
@@ -63,7 +61,6 @@ func BuildSecureTable(owner id.ID, ring *Ring) (*JumpTable, error) {
 // which is orthogonal to the diagnostic protocol).
 func BuildStandardTable(owner id.ID, ring *Ring, rng stats.Rand) (*JumpTable, error) {
 	t := NewJumpTable(owner)
-	skip := map[id.ID]bool{owner: true}
 	for row := 0; row < id.Digits; row++ {
 		anyDeeper := false
 		for col := byte(0); col < id.Base; col++ {
@@ -72,7 +69,7 @@ func BuildStandardTable(owner id.ID, ring *Ring, rng stats.Rand) (*JumpTable, er
 				continue
 			}
 			target := owner.WithDigit(row, col)
-			cand, ok := randomWithPrefix(ring, target, row+1, skip, rng)
+			cand, ok := ring.UniformWithPrefixExcl(target, row+1, owner, rng)
 			if !ok {
 				continue
 			}
@@ -86,31 +83,6 @@ func BuildStandardTable(owner id.ID, ring *Ring, rng stats.Rand) (*JumpTable, er
 		}
 	}
 	return t, nil
-}
-
-// randomWithPrefix picks uniformly among ring members sharing target's
-// first prefixLen digits, excluding skip.
-func randomWithPrefix(ring *Ring, target id.ID, prefixLen int, skip map[id.ID]bool, rng stats.Rand) (id.ID, bool) {
-	lo, hi := prefixRange(target, prefixLen)
-	start := ring.searchGE(lo)
-	end := ring.searchGE(hi)
-	if end < len(ring.ids) && ring.ids[end] == hi {
-		end++
-	}
-	// Reservoir-sample the qualifying arc.
-	var chosen id.ID
-	var count int
-	for i := start; i < end && i < len(ring.ids); i++ {
-		cand := ring.ids[i]
-		if skip[cand] {
-			continue
-		}
-		count++
-		if rng.IntN(count) == 0 {
-			chosen = cand
-		}
-	}
-	return chosen, count > 0
 }
 
 // RoutingState bundles one node's complete overlay state. Messages that

@@ -1,0 +1,155 @@
+package overlay
+
+import (
+	"testing"
+
+	"concilium/internal/id"
+)
+
+// The exclusion-variant ring searches replace the skip-map scans on the
+// build and maintenance paths. These properties pin them to the same
+// brute-force references the general APIs are pinned to: sorted-arc
+// binary search plus a constant number of probes must be observationally
+// identical to a full scan.
+
+func TestPropClosestWithPrefixExclMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.IntN(80)
+		ids := randomIDs(n, r)
+		ring := mustRing(t, ids)
+		target := id.Random(r)
+		if r.IntN(2) == 0 {
+			// Half the trials aim at a member-derived point, the shape
+			// the table builders produce (owner with one digit forced).
+			owner := ids[r.IntN(n)]
+			target = owner.WithDigit(r.IntN(3), byte(r.IntN(id.Base)))
+		}
+		plen := r.IntN(4)
+		excl := ids[r.IntN(n)]
+		got, ok := ring.ClosestWithPrefixExcl(target, plen, excl)
+		var want id.ID
+		found := false
+		for _, x := range ids {
+			if x == excl || id.CommonPrefixLen(x, target) < plen {
+				continue
+			}
+			if !found || id.Closer(x, want, target) {
+				want, found = x, true
+			}
+		}
+		if ok != found || (found && got != want) {
+			t.Fatalf("trial %d (n=%d, plen=%d): ClosestWithPrefixExcl = %s,%v want %s,%v",
+				trial, n, plen, got.Short(), ok, want.Short(), found)
+		}
+	}
+}
+
+func TestPropHasOtherWithPrefixMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.IntN(60)
+		ids := randomIDs(n, r)
+		ring := mustRing(t, ids)
+		owner := ids[r.IntN(n)]
+		plen := 1 + r.IntN(4)
+		got := ring.HasOtherWithPrefix(owner, plen, owner)
+		want := false
+		for _, x := range ids {
+			if x != owner && id.CommonPrefixLen(x, owner) >= plen {
+				want = true
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d, plen=%d): HasOtherWithPrefix = %v, brute force %v",
+				trial, n, plen, got, want)
+		}
+	}
+}
+
+// TestPropUniformWithPrefixExcl checks the single-draw uniform pick:
+// every returned candidate qualifies (prefix match, not the excluded
+// member), and across many draws every qualifying candidate shows up —
+// the index-shift around the excluded member must not shadow anyone.
+func TestPropUniformWithPrefixExcl(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.IntN(40)
+		ids := randomIDs(n, r)
+		ring := mustRing(t, ids)
+		owner := ids[r.IntN(n)]
+		plen := r.IntN(3)
+		target := owner.WithDigit(plen, byte(r.IntN(id.Base)))
+		qualify := map[id.ID]bool{}
+		for _, x := range ids {
+			if x != owner && id.CommonPrefixLen(x, target) >= plen {
+				qualify[x] = true
+			}
+		}
+		seen := map[id.ID]bool{}
+		for draw := 0; draw < 40*(len(qualify)+1); draw++ {
+			got, ok := ring.UniformWithPrefixExcl(target, plen, owner, r)
+			if ok != (len(qualify) > 0) {
+				t.Fatalf("trial %d: ok=%v with %d candidates", trial, ok, len(qualify))
+			}
+			if !ok {
+				break
+			}
+			if !qualify[got] {
+				t.Fatalf("trial %d: drew non-qualifying %s (owner=%s, plen=%d)",
+					trial, got.Short(), owner.Short(), plen)
+			}
+			seen[got] = true
+		}
+		if len(qualify) > 0 && len(seen) != len(qualify) {
+			t.Fatalf("trial %d: only %d of %d qualifying candidates ever drawn",
+				trial, len(seen), len(qualify))
+		}
+	}
+}
+
+// TestBuildLeafSetMatchesSequentialInserts pins the bulk fill: building
+// from ring neighbors in one rebuild must equal inserting the same
+// neighbor sequences one by one.
+func TestBuildLeafSetMatchesSequentialInserts(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.IntN(80)
+		perSide := 1 + r.IntN(8)
+		ids := randomIDs(n, r)
+		ring := mustRing(t, ids)
+		owner := ids[r.IntN(n)]
+
+		bulk, err := BuildLeafSet(owner, ring, perSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewLeafSet(owner, perSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ring.NeighborsClockwise(owner, perSide) {
+			seq.Insert(p)
+		}
+		for _, p := range ring.NeighborsCounterClockwise(owner, perSide) {
+			seq.Insert(p)
+		}
+		if bulk.Len() != seq.Len() {
+			t.Fatalf("trial %d: bulk len %d, sequential len %d", trial, bulk.Len(), seq.Len())
+		}
+		want := map[id.ID]bool{}
+		for _, x := range seq.All() {
+			want[x] = true
+		}
+		for _, x := range bulk.All() {
+			if !want[x] {
+				t.Fatalf("trial %d: bulk-built leaf set holds %s, sequential does not", trial, x.Short())
+			}
+		}
+	}
+}

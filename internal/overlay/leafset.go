@@ -51,6 +51,22 @@ func (ls *LeafSet) Insert(peer id.ID) bool {
 	return ls.contains(peer)
 }
 
+// insertBulk offers whole groups of peers with a single rebuild at the
+// end. It is equivalent to sequential Insert calls only when no offered
+// peer would ever be pruned mid-sequence — BuildLeafSet's case, where
+// every offer is a nearest ring neighbor of its own side.
+func (ls *LeafSet) insertBulk(groups ...[]id.ID) {
+	for _, g := range groups {
+		for _, p := range g {
+			if p == ls.owner || ls.contains(p) {
+				continue
+			}
+			ls.members = append(ls.members, p)
+		}
+	}
+	ls.rebuild()
+}
+
 // Remove drops a departed peer, reporting whether it was present.
 func (ls *LeafSet) Remove(peer id.ID) bool {
 	for i, x := range ls.members {

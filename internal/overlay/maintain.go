@@ -51,7 +51,6 @@ func (rs *RoutingState) ApplyDeparture(peer id.ID, ring *Ring, rng stats.Rand) e
 	if ring.Contains(peer) {
 		return fmt.Errorf("overlay: ring still contains departing peer %s", peer.Short())
 	}
-	skip := map[id.ID]bool{rs.Self: true}
 
 	// Leaf set: drop and refill the affected side from the ring.
 	if rs.Leaf.Remove(peer) {
@@ -73,7 +72,7 @@ func (rs *RoutingState) ApplyDeparture(peer id.ID, ring *Ring, rng stats.Rand) e
 				return err
 			}
 			target := rs.Self.WithDigit(row, col)
-			if cand, found := ring.ClosestWithPrefix(target, row+1, skip); found {
+			if cand, found := ring.ClosestWithPrefixExcl(target, row+1, rs.Self); found {
 				if err := rs.Secure.Set(cand); err != nil {
 					return err
 				}
@@ -84,7 +83,7 @@ func (rs *RoutingState) ApplyDeparture(peer id.ID, ring *Ring, rng stats.Rand) e
 				return err
 			}
 			target := rs.Self.WithDigit(row, col)
-			if cand, found := randomWithPrefix(ring, target, row+1, skip, rng); found {
+			if cand, found := ring.UniformWithPrefixExcl(target, row+1, rs.Self, rng); found {
 				if err := rs.Standard.Set(cand); err != nil {
 					return err
 				}

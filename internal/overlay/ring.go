@@ -119,25 +119,19 @@ func prefixRange(base id.ID, prefixLen int) (lo, hi id.ID) {
 // ClosestWithPrefix returns the member closest to target among those
 // sharing target's first prefixLen digits, excluding members in skip.
 // Identifiers with a common prefix form a contiguous arc, so this is two
-// binary searches plus a boundary comparison.
+// binary searches plus a linear scan of the arc. Table construction uses
+// the O(log N) single-exclusion variant ClosestWithPrefixExcl; this scan
+// survives as the general-skip API and as its test reference.
 func (r *Ring) ClosestWithPrefix(target id.ID, prefixLen int, skip map[id.ID]bool) (id.ID, bool) {
 	if prefixLen <= 0 {
 		return r.Closest(target, skip)
 	}
-	if prefixLen > id.Digits {
-		prefixLen = id.Digits
-	}
-	lo, hi := prefixRange(target, prefixLen)
-	start := r.searchGE(lo)
-	end := r.searchGE(hi) // members in [start, end] ∪ {end if == hi}
-	if end < len(r.ids) && r.ids[end] != hi {
-		end--
-	}
-	if end >= len(r.ids) {
-		end = len(r.ids) - 1
+	start, end, ok := r.arcBounds(target, prefixLen)
+	if !ok {
+		return id.ID{}, false
 	}
 	best, found := id.ID{}, false
-	for i := start; i <= end && i < len(r.ids); i++ {
+	for i := start; i <= end; i++ {
 		cand := r.ids[i]
 		if skip[cand] {
 			continue
@@ -147,6 +141,123 @@ func (r *Ring) ClosestWithPrefix(target id.ID, prefixLen int, skip map[id.ID]boo
 		}
 	}
 	return best, found
+}
+
+// arcBounds returns the inclusive index range [start, end] of members
+// sharing target's first prefixLen digits, with ok=false when no member
+// qualifies. Callers must pass prefixLen >= 1; prefixLen 0 is the whole
+// ring, which is not a half-open arc.
+func (r *Ring) arcBounds(target id.ID, prefixLen int) (start, end int, ok bool) {
+	if prefixLen > id.Digits {
+		prefixLen = id.Digits
+	}
+	lo, hi := prefixRange(target, prefixLen)
+	start = r.searchGE(lo)
+	end = r.searchGE(hi)
+	if end == len(r.ids) || r.ids[end] != hi {
+		end--
+	}
+	if start > end {
+		return 0, 0, false
+	}
+	return start, end, true
+}
+
+// ClosestWithPrefixExcl is ClosestWithPrefix specialized to a single
+// excluded member — the only skip shape table construction needs. Within
+// a shared-prefix arc there is no wraparound, so distance to target is
+// monotone on each side of target's insertion point: the winner is among
+// the nearest two candidates per side (two, because the nearest may be
+// excl). O(log N) instead of a full arc scan.
+func (r *Ring) ClosestWithPrefixExcl(target id.ID, prefixLen int, excl id.ID) (id.ID, bool) {
+	if prefixLen <= 0 {
+		return r.closestExcl(target, excl)
+	}
+	start, end, ok := r.arcBounds(target, prefixLen)
+	if !ok {
+		return id.ID{}, false
+	}
+	pos := r.searchGE(target)
+	best, found := id.ID{}, false
+	for _, i := range [4]int{pos, pos + 1, pos - 1, pos - 2} {
+		if i < start || i > end {
+			continue
+		}
+		cand := r.ids[i]
+		if cand == excl {
+			continue
+		}
+		if !found || id.Closer(cand, best, target) {
+			best, found = cand, true
+		}
+	}
+	return best, found
+}
+
+// closestExcl is Closest with a single excluded member: the circularly
+// nearest survivor is within two ring steps of the insertion point, so
+// four probes replace the outward walk.
+func (r *Ring) closestExcl(target id.ID, excl id.ID) (id.ID, bool) {
+	n := len(r.ids)
+	pos := r.searchGE(target)
+	best, found := id.ID{}, false
+	for _, off := range [4]int{0, 1, -1, -2} {
+		cand := r.ids[((pos+off)%n+n)%n]
+		if cand == excl {
+			continue
+		}
+		if !found || id.Closer(cand, best, target) {
+			best, found = cand, true
+		}
+	}
+	return best, found
+}
+
+// HasOtherWithPrefix reports whether any member besides excl shares
+// target's first prefixLen digits — the row-termination probe of table
+// construction, answered from the arc bounds without scanning.
+func (r *Ring) HasOtherWithPrefix(target id.ID, prefixLen int, excl id.ID) bool {
+	if prefixLen <= 0 {
+		return len(r.ids) > 1 || r.ids[0] != excl
+	}
+	start, end, ok := r.arcBounds(target, prefixLen)
+	if !ok {
+		return false
+	}
+	if end > start {
+		return true
+	}
+	return r.ids[start] != excl
+}
+
+// UniformWithPrefixExcl picks uniformly among members sharing target's
+// first prefixLen digits, excluding (at most) excl, with one rng draw
+// over the arc span instead of a reservoir pass through it.
+func (r *Ring) UniformWithPrefixExcl(target id.ID, prefixLen int, excl id.ID, rng interface{ IntN(int) int }) (id.ID, bool) {
+	start, end := 0, len(r.ids)-1
+	if prefixLen > 0 {
+		var ok bool
+		start, end, ok = r.arcBounds(target, prefixLen)
+		if !ok {
+			return id.ID{}, false
+		}
+	}
+	exclAt := -1
+	if at, ok := r.index[excl]; ok && at >= start && at <= end {
+		exclAt = at
+	}
+	count := end - start + 1
+	if exclAt >= 0 {
+		count--
+	}
+	if count <= 0 {
+		return id.ID{}, false
+	}
+	j := start + rng.IntN(count)
+	if exclAt >= 0 && j >= exclAt {
+		j++
+	}
+	return r.ids[j], true
 }
 
 // NeighborsClockwise returns up to k members following x on the ring

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"concilium/internal/profiling"
 )
 
 // Seed is a root seed for a family of independent random substreams.
@@ -88,6 +90,22 @@ func Workers(n int) int {
 // scheduling. With workers=1 (or n=1) fn runs inline on the caller's
 // goroutine.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, "", func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with two extensions for callers that keep
+// per-worker scratch state or profile the pool:
+//
+//   - fn receives the worker index (in [0, resolved workers)) alongside
+//     the claimed work index, so callers can address pre-allocated
+//     per-worker scratch without locking. The worker→index assignment
+//     is scheduling-dependent; determinism still requires fn's output
+//     to depend only on i (scratch must be fully overwritten per unit).
+//   - A non-empty label attaches pprof goroutine labels
+//     (parexec_phase=label, parexec_worker=w) for the worker's
+//     lifetime, so CPU profiles attribute samples per phase and worker.
+//     The empty label adds no labels and no overhead.
+func ForEachWorker(workers, n int, label string, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -97,10 +115,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		var first error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
-				first = err
+		run := func() {
+			for i := 0; i < n; i++ {
+				if err := fn(0, i); err != nil && first == nil {
+					first = err
+				}
 			}
+		}
+		if label != "" {
+			profiling.WorkerLabel(label, 0, run)
+		} else {
+			run()
 		}
 		return first
 	}
@@ -109,16 +134,23 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			loop := func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(w, i)
 				}
-				errs[i] = fn(i)
 			}
-		}()
+			if label != "" {
+				profiling.WorkerLabel(label, w, loop)
+			} else {
+				loop()
+			}
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -135,7 +167,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // the result slice is bit-identical for every worker count.
 func MapTrials[T any](workers, trials int, seed Seed, fn func(trial int, rng *rand.Rand) (T, error)) ([]T, error) {
 	out := make([]T, max(trials, 0))
-	err := ForEach(workers, trials, func(i int) error {
+	err := ForEachWorker(workers, trials, "trials", func(_, i int) error {
 		v, err := fn(i, seed.Stream(uint64(i)))
 		if err != nil {
 			return err

@@ -1,13 +1,28 @@
 // Package profiling wraps runtime/pprof capture for the command-line
-// tools: opt-in CPU and heap profiles written to user-chosen paths.
+// tools: opt-in CPU and heap profiles written to user-chosen paths,
+// plus the pprof goroutine labels the parallel execution layer attaches
+// to its workers so -cpuprofile output attributes samples to a phase
+// ("build-keygen", "build-routing", "trials", ...) and worker index.
 package profiling
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 )
+
+// WorkerLabel runs fn with pprof goroutine labels identifying the
+// parexec phase and worker index. CPU-profile samples taken inside fn
+// carry the labels, so `go tool pprof -tags` splits build-phase work
+// from steady-state work per worker. The labels cost one context
+// allocation per worker lifetime, not per work unit.
+func WorkerLabel(phase string, worker int, fn func()) {
+	labels := pprof.Labels("parexec_phase", phase, "parexec_worker", strconv.Itoa(worker))
+	pprof.Do(context.Background(), labels, func(context.Context) { fn() })
+}
 
 // StartCPU begins CPU profiling into path and returns a stop function
 // that finishes the profile and closes the file. An empty path is a

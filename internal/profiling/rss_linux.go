@@ -1,0 +1,19 @@
+//go:build linux
+
+package profiling
+
+import "syscall"
+
+// PeakRSSBytes returns the process's high-water resident set size in
+// bytes, from getrusage(2). The value is a process-lifetime maximum:
+// it never decreases, so callers benchmarking several workloads in one
+// process should run them in ascending memory order and treat each
+// reading as "peak so far". Returns 0 if the kernel refuses the call.
+func PeakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Linux reports ru_maxrss in kilobytes.
+	return ru.Maxrss * 1024
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package profiling
+
+// PeakRSSBytes is unavailable on this platform; reports 0 so callers
+// can omit the metric rather than fail.
+func PeakRSSBytes() int64 { return 0 }

@@ -152,6 +152,39 @@ func (a *Authority) Issue(addr string, nodePub ed25519.PublicKey) (Certificate, 
 	return cert, nil
 }
 
+// IssueFor signs a certificate binding addr, nodeID, and nodePub without
+// touching the authority's rng or identifier registry — the parallel
+// half of issuance. Callers draw nodeID from their own substream and
+// must Claim it (serially, in a deterministic order) so the registry
+// still guards against reuse. Ed25519 signing is deterministic and the
+// authority key is immutable after construction, so concurrent IssueFor
+// calls are safe and scheduling-independent.
+func (a *Authority) IssueFor(addr string, nodeID id.ID, nodePub ed25519.PublicKey) (Certificate, error) {
+	if len(nodePub) != ed25519.PublicKeySize {
+		return Certificate{}, fmt.Errorf("sigcrypto: bad public key length %d", len(nodePub))
+	}
+	cert := Certificate{
+		Addr:      addr,
+		NodeID:    nodeID,
+		PublicKey: append(ed25519.PublicKey(nil), nodePub...),
+	}
+	cert.Signature = a.key.Sign(cert.payload())
+	return cert, nil
+}
+
+// Claim registers an externally drawn identifier with the authority,
+// failing on reuse. Later Issue calls will never assign a claimed
+// identifier.
+func (a *Authority) Claim(nodeID id.ID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.issued[nodeID]; dup {
+		return fmt.Errorf("sigcrypto: identifier %s already issued", nodeID.Short())
+	}
+	a.issued[nodeID] = struct{}{}
+	return nil
+}
+
 // VerifyCertificate checks that cert was signed by the authority holding
 // caPub.
 func VerifyCertificate(caPub ed25519.PublicKey, cert *Certificate) error {

@@ -1,6 +1,7 @@
 package sigcrypto
 
 import (
+	"bytes"
 	"math/rand/v2"
 	"testing"
 
@@ -199,6 +200,57 @@ func BenchmarkVerify(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !Verify(kp.Public, msg, sig) {
 			b.Fatal("verify failed")
+		}
+	}
+}
+
+func TestAuthorityIssueForAndClaim(t *testing.T) {
+	t.Parallel()
+	r := testRand()
+	ca := NewAuthority(KeyPairFromRand(r), r)
+	node := KeyPairFromRand(r)
+	nodeID := id.Random(r)
+
+	// IssueFor must produce a certificate indistinguishable from Issue's
+	// for the same identifier: verifiable, field-for-field bound.
+	cert, err := ca.IssueFor("10.0.0.1:9000", nodeID, node.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.NodeID != nodeID || cert.Addr != "10.0.0.1:9000" {
+		t.Errorf("cert fields wrong: %+v", cert)
+	}
+	if err := VerifyCertificate(ca.PublicKey(), &cert); err != nil {
+		t.Fatalf("IssueFor certificate rejected: %v", err)
+	}
+	if _, err := ca.IssueFor("h", nodeID, []byte{1, 2}); err == nil {
+		t.Error("short public key accepted")
+	}
+	// Deterministic: same inputs, same signature (parallel issuance must
+	// be scheduling-independent).
+	again, err := ca.IssueFor("10.0.0.1:9000", nodeID, node.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cert.Signature, again.Signature) {
+		t.Error("IssueFor signatures differ across calls with identical inputs")
+	}
+
+	// Claim guards the registry: first claim wins, reuse fails, and
+	// Issue never reassigns a claimed identifier.
+	if err := ca.Claim(nodeID); err != nil {
+		t.Fatalf("first Claim: %v", err)
+	}
+	if err := ca.Claim(nodeID); err == nil {
+		t.Error("duplicate Claim accepted")
+	}
+	for i := 0; i < 200; i++ {
+		c, err := ca.Issue("h", node.Public)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NodeID == nodeID {
+			t.Fatal("Issue reassigned a claimed identifier")
 		}
 	}
 }

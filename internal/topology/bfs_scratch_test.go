@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"testing"
+)
+
+// TestBFSIntoMatchesBFS pins the scratch-reusing BFS against the
+// allocating one: the same immutable graph, many sources, one shared
+// scratch — every tree must agree on reachability, distance, and path
+// for every destination, including runs where the scratch is recycled
+// across sources.
+func TestBFSIntoMatchesBFS(t *testing.T) {
+	t.Parallel()
+	g, err := Generate(TestConfig(), testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch BFSScratch
+	n := g.NumRouters()
+	step := n/17 + 1
+	for src := RouterID(0); int(src) < n; src += RouterID(step) {
+		want, err := g.BFS(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.BFSInto(&scratch, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst := RouterID(0); int(dst) < n; dst++ {
+			if want.Reachable(dst) != got.Reachable(dst) {
+				t.Fatalf("src %d dst %d: reachability differs", src, dst)
+			}
+			if !want.Reachable(dst) {
+				continue
+			}
+			if want.HopCount(dst) != got.HopCount(dst) {
+				t.Fatalf("src %d dst %d: hops %d vs %d", src, dst, want.HopCount(dst), got.HopCount(dst))
+			}
+			wp, err := want.PathTo(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, err := got.PathTo(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wp) != len(gp) {
+				t.Fatalf("src %d dst %d: path lengths %d vs %d", src, dst, len(wp), len(gp))
+			}
+			for i := range wp {
+				if wp[i] != gp[i] {
+					t.Fatalf("src %d dst %d: paths diverge at hop %d", src, dst, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBFSIntoRejectsBadSource mirrors BFS's input validation.
+func TestBFSIntoRejectsBadSource(t *testing.T) {
+	t.Parallel()
+	g := mustGraph(t, 3)
+	var scratch BFSScratch
+	if _, err := g.BFSInto(&scratch, 99); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -129,28 +129,56 @@ type RouteTree struct {
 
 // BFS computes the shortest-path tree from src. Ties are broken by
 // adjacency order, which is deterministic for a deterministically built
-// graph.
+// graph. The returned tree owns its storage; callers that compute many
+// trees and keep none of them alive should reuse a BFSScratch instead.
 func (g *Graph) BFS(src RouterID) (*RouteTree, error) {
+	return g.BFSInto(&BFSScratch{}, src)
+}
+
+// BFSScratch holds the reusable state of repeated BFS runs: the
+// frontier queue and the visited/parent arrays of one RouteTree. A
+// system build runs one BFS per overlay node against the same immutable
+// graph; reusing the scratch turns the per-node cost from four O(n)
+// allocations into an O(n) reset of already-hot memory. The zero value
+// is ready to use. A scratch belongs to one goroutine; parallel callers
+// keep one per worker.
+type BFSScratch struct {
+	tree  RouteTree
+	queue []RouterID
+}
+
+// BFSInto computes the shortest-path tree from src into s's reusable
+// RouteTree and returns it. The result is valid only until the next
+// BFSInto call on the same scratch; callers that retain the tree (e.g.
+// a per-router cache) must use BFS, which hands out owned storage.
+func (g *Graph) BFSInto(s *BFSScratch, src RouterID) (*RouteTree, error) {
 	if !g.validRouter(src) {
 		return nil, fmt.Errorf("topology: BFS from unknown router %d", src)
 	}
 	n := len(g.adj)
-	t := &RouteTree{
-		Source:     src,
-		parent:     make([]RouterID, n),
-		parentLink: make([]LinkID, n),
-		dist:       make([]int32, n),
+	t := &s.tree
+	t.Source = src
+	if cap(t.dist) < n {
+		t.parent = make([]RouterID, n)
+		t.parentLink = make([]LinkID, n)
+		t.dist = make([]int32, n)
+	} else {
+		t.parent = t.parent[:n]
+		t.parentLink = t.parentLink[:n]
+		t.dist = t.dist[:n]
 	}
 	for i := range t.dist {
 		t.dist[i] = -1
 	}
 	t.dist[src] = 0
 	t.parent[src] = src
-	queue := make([]RouterID, 0, 256)
+	if cap(s.queue) == 0 {
+		s.queue = make([]RouterID, 0, 256)
+	}
+	queue := s.queue[:0]
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, nb := range g.adj[u] {
 			if t.dist[nb.Router] >= 0 {
 				continue
@@ -161,6 +189,7 @@ func (g *Graph) BFS(src RouterID) (*RouteTree, error) {
 			queue = append(queue, nb.Router)
 		}
 	}
+	s.queue = queue
 	return t, nil
 }
 
