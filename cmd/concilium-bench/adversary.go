@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"concilium/internal/adversary"
+	"concilium/internal/benchreport"
+	"concilium/internal/experiments"
+)
+
+// The Adversary figure (-fig 12) runs the full adversarial campaign
+// grid (strategy × attacker fraction) and reports each cell's ROC
+// operating point: attacker conviction rate vs. honest
+// false-conviction rate, plus the reputation fallback's quorum
+// outcomes. Its checks are the per-cell rates, so the benchdiff
+// -figures gate pins conviction power exactly, and the campaign's own
+// invariants (ROC separation, honest-conviction bound, overlay still
+// routing) gate the run itself.
+const adversaryFig = 12
+
+// runAdversaryFig executes the campaign and returns its benchreport
+// figure alongside the report for rendering. A failed invariant is an
+// error: the figure must not land in a report looking like a
+// measurement when the protocol's defenses did not hold.
+func runAdversaryFig(seed uint64, workers int) (benchreport.Figure, *adversary.Report, error) {
+	cfg := adversary.ShortConfig(seed)
+	cfg.Workers = workers
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := adversary.Run(cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchreport.Figure{}, nil, err
+	}
+	checks := map[string]float64{
+		"cells":         float64(len(rep.Cells)),
+		"invariants_ok": boolToF(rep.Passed()),
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		key := fmt.Sprintf("%s_f%02.0f", c.Strategy, 100*c.Fraction)
+		checks["att_"+key] = c.Op.AttackerRate
+		checks["hon_"+key] = c.Op.HonestRate
+	}
+	fig := benchreport.Figure{
+		Name:   "adversary",
+		Checks: checks,
+		Timing: benchreport.Timing{
+			WallNs:      wall.Nanoseconds(),
+			NsPerOp:     perOp(wall.Nanoseconds(), int64(len(rep.Cells))),
+			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(len(rep.Cells)),
+			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(len(rep.Cells)),
+			Ops:         int64(len(rep.Cells)),
+		},
+	}
+	if !rep.Passed() {
+		return fig, rep, fmt.Errorf("adversary campaign violated invariants:\n%s", rep)
+	}
+	return fig, rep, nil
+}
+
+// adversaryTable renders the campaign's operating points for text/csv
+// mode: one row per (strategy, fraction) cell.
+func adversaryTable(rep *adversary.Report) experiments.Table {
+	t := experiments.Table{
+		Title: "Figure 12: adversarial conviction ROC operating points (strategy x attacker fraction)",
+		Columns: []string{
+			"strategy", "f", "attackers", "att conviction", "honest false-conv",
+			"rep attacker", "rep honest", "repo rejections", "suspected",
+		},
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		t.Rows = append(t.Rows, []string{
+			c.Strategy,
+			fmt.Sprintf("%.2f", c.Fraction),
+			fmt.Sprintf("%d/%d", c.Attackers, c.Nodes),
+			fmt.Sprintf("%.3f", c.Op.AttackerRate),
+			fmt.Sprintf("%.3f", c.Op.HonestRate),
+			fmt.Sprintf("%.3f", c.RepAttackerRate),
+			fmt.Sprintf("%.3f", c.RepHonestRate),
+			fmt.Sprintf("%d", c.Rejections.Total()),
+			fmt.Sprintf("%d", c.Suspected),
+		})
+	}
+	return t
+}
+
+// runAdversaryText is the text/csv-mode path: render the operating
+// points and the invariant list.
+func runAdversaryText(w io.Writer, render renderer, seed uint64, workers int) error {
+	_, rep, err := runAdversaryFig(seed, workers)
+	if err != nil {
+		return err
+	}
+	if err := render.table(w, adversaryTable(rep)); err != nil {
+		return err
+	}
+	for _, inv := range rep.Invariants {
+		status := "ok"
+		if !inv.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "invariant [%s] %s\n", status, inv.Name)
+	}
+	return nil
+}

@@ -10,9 +10,10 @@
 // under suppression), 4 (forest coverage), 5 (blame PDFs + §4.3 rates),
 // 6 (accusation error vs m), 7 (§4.4 bandwidth), plus extensions:
 // 8 (collusion-fraction sweep), 9 (median-consensus suppression
-// defense), and 10 (BuildSystem scale at the -scale-n overlay sizes).
-// -fig 0 runs the paper's seven in text mode, plus figure 10 in
-// benchmark mode.
+// defense), 10 (BuildSystem scale at the -scale-n overlay sizes), and
+// 12 (adversarial conviction ROC grid; see internal/adversary).
+// -fig 0 runs the paper's seven in text mode, plus figures 10 and 12
+// in benchmark mode.
 //
 // -json switches to benchmark mode: every selected figure runs against
 // a per-figure derived seed (independent of the shared-stream text
@@ -111,7 +112,7 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 	if fig == 0 {
 		figs = []int{1, 2, 3, 4, 5, 6, 7}
 		if jsonPath != "" {
-			figs = append(figs, scaleFig)
+			figs = append(figs, scaleFig, adversaryFig)
 		}
 	}
 
@@ -130,6 +131,10 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 				return fmt.Errorf("figure %d: %w", f, err)
 			}
 			if err := render.table(w, scaleTable(scaleFigs)); err != nil {
+				return fmt.Errorf("figure %d: %w", f, err)
+			}
+		} else if f == adversaryFig {
+			if err := runAdversaryText(w, render, seed, workers); err != nil {
 				return fmt.Errorf("figure %d: %w", f, err)
 			}
 		} else if _, err := runFig(w, render, f, topoCfg, overlayFrac, workers, rng); err != nil {
@@ -168,6 +173,31 @@ func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Con
 				return err
 			}
 			report.Figures = append(report.Figures, scaleFigs...)
+			continue
+		}
+		if f == adversaryFig {
+			advFig, advRep, err := runAdversaryFig(seed, resolved)
+			if err != nil {
+				return err
+			}
+			advFig.Timing.SpeedupX = 1
+			if resolved != 1 {
+				serialFig, _, err := runAdversaryFig(seed, 1)
+				if err != nil {
+					return fmt.Errorf("adversary (serial reference): %w", err)
+				}
+				if !checksEqual(advFig.Checks, serialFig.Checks) {
+					return fmt.Errorf("adversary: checks diverge between workers=1 and workers=%d: %v vs %v",
+						resolved, serialFig.Checks, advFig.Checks)
+				}
+				if advFig.Timing.WallNs > 0 {
+					advFig.Timing.SpeedupX = float64(serialFig.Timing.WallNs) / float64(advFig.Timing.WallNs)
+				}
+			}
+			report.Figures = append(report.Figures, advFig)
+			fmt.Fprintf(w, "adversary: %v, %d cells, invariants %s (speedup %.2fx at %d workers)\n",
+				time.Duration(advFig.Timing.WallNs).Round(time.Millisecond), len(advRep.Cells),
+				map[bool]string{true: "ok", false: "FAILED"}[advRep.Passed()], advFig.Timing.SpeedupX, resolved)
 			continue
 		}
 		name := fmt.Sprintf("fig%d", f)
@@ -515,7 +545,7 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 		return checks, nil
 
 	default:
-		return nil, fmt.Errorf("unknown figure %d (valid: 1-10)", fig)
+		return nil, fmt.Errorf("unknown figure %d (valid: 1-10, 12)", fig)
 	}
 }
 

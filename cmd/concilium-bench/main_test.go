@@ -233,6 +233,56 @@ func TestRunScaleFigure(t *testing.T) {
 	}
 }
 
+// TestRunAdversaryFigure exercises figure 12 end to end: the JSON
+// report must carry the per-cell ROC operating-point checks with
+// invariants holding, and text mode must render the table plus the
+// invariant list.
+func TestRunAdversaryFigure(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "adversary.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "12", "-seed", "42", "-json", path}); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	rep, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := rep.Figure("adversary")
+	if fig == nil {
+		t.Fatalf("report missing adversary figure: %+v", rep.Figures)
+	}
+	if fig.Checks["invariants_ok"] != 1 || fig.Checks["cells"] != 16 {
+		t.Errorf("adversary checks unpopulated: %v", fig.Checks)
+	}
+	if fig.Timing.WallNs <= 0 || fig.Timing.Ops != 16 || fig.Timing.SpeedupX <= 0 {
+		t.Errorf("adversary timing unpopulated: %+v", fig.Timing)
+	}
+	// The gate the baseline pins: attackers convict strictly above
+	// honest hosts at every cell the checks cover.
+	for key, att := range fig.Checks {
+		if !strings.HasPrefix(key, "att_") {
+			continue
+		}
+		hon, ok := fig.Checks["hon_"+strings.TrimPrefix(key, "att_")]
+		if !ok {
+			t.Errorf("check %s has no honest counterpart", key)
+		} else if att <= hon {
+			t.Errorf("%s: attacker rate %v not above honest %v", key, att, hon)
+		}
+	}
+
+	// Text mode renders the operating-point table and invariants.
+	buf.Reset()
+	if err := run(&buf, []string{"-fig", "12", "-seed", "42"}); err != nil {
+		t.Fatalf("text mode: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "adversarial conviction ROC") || !strings.Contains(out, "roc-separation") {
+		t.Errorf("text output missing ROC table or invariants:\n%s", out)
+	}
+}
+
 func TestRunProfileFlags(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

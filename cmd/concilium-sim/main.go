@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"concilium/internal/adversary"
 	"concilium/internal/baseline"
 	"concilium/internal/benchreport"
 	"concilium/internal/chaos"
@@ -43,6 +44,7 @@ func run(w io.Writer, args []string) error {
 	traceN := fs.Int("trace", 0, "print the last N protocol trace events")
 	workers := fs.Int("workers", 0, "worker pool size for parallel system construction (0 = GOMAXPROCS); results are identical for any value")
 	chaosMode := fs.Bool("chaos", false, "run the chaos-injection campaign instead of the baseline simulation")
+	adversaryMode := fs.Bool("adversary", false, "run the adversarial campaign (strategy x fraction conviction grid) instead of the baseline simulation")
 	chaosDuration := fs.String("duration", "short", "chaos campaign length: short or long")
 	jsonPath := fs.String("json", "", "write a machine-readable bench report to this path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
@@ -54,19 +56,29 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *chaosMode {
+	switch {
+	case *chaosMode && *adversaryMode:
+		err = fmt.Errorf("-chaos and -adversary are mutually exclusive")
+	case *chaosMode:
 		err = runChaos(w, *seed, *workers, *chaosDuration, *jsonPath)
-	} else {
+	case *adversaryMode:
+		err = runAdversary(w, *seed, *workers, *jsonPath)
+	default:
 		err = runSim(w, simOpts{
 			seed: *seed, messages: *messages, malicious: *malicious,
 			warmup: *duration, scale: *scale, traceN: *traceN,
 			workers: *workers, jsonPath: *jsonPath,
 		})
 	}
+	return finishProfiles(err, stopCPU, *memProfile)
+}
+
+// finishProfiles folds CPU/heap profile shutdown errors into err.
+func finishProfiles(err error, stopCPU func() error, memProfile string) error {
 	if cerr := stopCPU(); err == nil {
 		err = cerr
 	}
-	if merr := profiling.WriteHeap(*memProfile); err == nil {
+	if merr := profiling.WriteHeap(memProfile); err == nil {
 		err = merr
 	}
 	return err
@@ -337,6 +349,53 @@ func runChaos(w io.Writer, seed uint64, workers int, duration, jsonPath string) 
 	}
 	if !rep.Passed() {
 		return fmt.Errorf("chaos campaign violated invariants")
+	}
+	return nil
+}
+
+// runAdversary executes the seeded adversarial campaign grid and
+// prints its conviction report. A violated invariant (ROC separation,
+// honest-conviction bound, overlay-still-routing, ...) is a nonzero
+// exit, so CI can gate on the campaign directly.
+func runAdversary(w io.Writer, seed uint64, workers int, jsonPath string) error {
+	cfg := adversary.ShortConfig(seed)
+	cfg.Workers = workers
+	fmt.Fprintf(w, "running adversarial campaign (seed=%d)...\n", seed)
+	start := time.Now()
+	rep, err := adversary.Run(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Fprint(w, rep.String())
+	if jsonPath != "" {
+		report := newReport(seed, "adversary", workers)
+		report.Metrics = rep.Metrics
+		checks := map[string]float64{
+			"cells":         float64(len(rep.Cells)),
+			"invariants_ok": boolToF(rep.Passed()),
+		}
+		for i := range rep.Cells {
+			c := &rep.Cells[i]
+			key := fmt.Sprintf("%s_f%02.0f", c.Strategy, 100*c.Fraction)
+			checks["att_"+key] = c.Op.AttackerRate
+			checks["hon_"+key] = c.Op.HonestRate
+		}
+		report.Figures = []benchreport.Figure{{
+			Name:   "adversary",
+			Checks: checks,
+			Timing: benchreport.Timing{
+				WallNs:  wall.Nanoseconds(),
+				NsPerOp: perOp(wall.Nanoseconds(), int64(len(rep.Cells))),
+				Ops:     int64(len(rep.Cells)),
+			},
+		}}
+		if err := writeReport(w, jsonPath, report); err != nil {
+			return err
+		}
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("adversarial campaign violated invariants")
 	}
 	return nil
 }

@@ -104,6 +104,43 @@ func TestRunChaosRejectsBadDuration(t *testing.T) {
 	}
 }
 
+func TestRunAdversaryMode(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "adversary.json")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-adversary", "-seed", "1", "-json", path})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"adversary campaign seed=1", "roc-separation", "invariants:", "result: PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adversary output missing %q:\n%s", want, out)
+		}
+	}
+	rep, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := rep.Figure("adversary")
+	if fig == nil || fig.Checks["invariants_ok"] != 1 || fig.Checks["cells"] != 16 {
+		t.Errorf("adversary figure malformed: %+v", fig)
+	}
+	if fig.Checks["att_selective-drop_f10"] <= fig.Checks["hon_selective-drop_f10"] {
+		t.Errorf("ROC separation missing from checks: %+v", fig.Checks)
+	}
+}
+
+func TestRunRejectsChaosPlusAdversary(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-chaos", "-adversary"}); err == nil {
+		t.Error("mutually exclusive campaign flags accepted")
+	}
+}
+
 func TestRunSimJSONReport(t *testing.T) {
 	t.Parallel()
 	path := filepath.Join(t.TempDir(), "sim.json")

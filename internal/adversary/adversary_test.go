@@ -1,0 +1,201 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"concilium/internal/chaos"
+	"concilium/internal/metrics"
+)
+
+// TestCampaignInvariants runs the short campaign across the CI seed
+// matrix and requires every fixed-order invariant to hold.
+func TestCampaignInvariants(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(name("seed", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := ShortConfig(seed)
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, inv := range rep.Invariants {
+				if !inv.OK {
+					t.Errorf("invariant %s failed: %s", inv.Name, inv.Detail)
+				}
+			}
+			if !rep.Passed() {
+				t.Errorf("campaign failed:\n%s", rep.String())
+			}
+			if len(rep.Cells) != len(rep.Strategies)*len(rep.Fractions) {
+				t.Fatalf("cell grid: got %d cells", len(rep.Cells))
+			}
+		})
+	}
+}
+
+// TestCampaignWorkerInvariance byte-compares the rendered report across
+// worker counts: the campaign must be a pure function of its seed.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		seed := seed
+		t.Run(name("seed", seed), func(t *testing.T) {
+			t.Parallel()
+			var want string
+			var wantMetrics metrics.Snapshot
+			for _, workers := range []int{1, 4, 8} {
+				cfg := ShortConfig(seed)
+				cfg.Workers = workers
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := rep.String()
+				if want == "" {
+					want, wantMetrics = got, rep.Metrics
+					continue
+				}
+				if got != want {
+					t.Errorf("workers=%d: report differs from workers=1", workers)
+				}
+				if !rep.Metrics.Equal(wantMetrics) {
+					t.Errorf("workers=%d: merged metrics differ from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignROCShape spot-checks the structure of the per-cell
+// curves: monotone non-increasing rates as thresholds tighten, and the
+// operating point present on each curve.
+func TestCampaignROCShape(t *testing.T) {
+	rep, err := Run(ShortConfig(7))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if len(c.Curve) == 0 {
+			t.Errorf("%s f=%.2f: empty curve", c.Strategy, c.Fraction)
+			continue
+		}
+		for j := 1; j < len(c.Curve); j++ {
+			if c.Curve[j].Threshold <= c.Curve[j-1].Threshold {
+				t.Errorf("%s f=%.2f: thresholds not ascending at %d", c.Strategy, c.Fraction, j)
+			}
+			if c.Strategy != "eclipse" {
+				// Window and quorum sweeps count exceedances, so rates can
+				// only fall as the threshold rises.
+				if c.Curve[j].AttackerRate > c.Curve[j-1].AttackerRate ||
+					c.Curve[j].HonestRate > c.Curve[j-1].HonestRate {
+					t.Errorf("%s f=%.2f: rates not monotone at threshold %.0f",
+						c.Strategy, c.Fraction, c.Curve[j].Threshold)
+				}
+			}
+		}
+		found := false
+		for _, p := range c.Curve {
+			if p == c.Op {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s f=%.2f: operating point not on curve", c.Strategy, c.Fraction)
+		}
+	}
+}
+
+// TestMetricsHygiene rejects nondeterministic series from the
+// campaign's canonical snapshot and checks the repository hardening
+// counters surfaced.
+func TestMetricsHygiene(t *testing.T) {
+	rep, err := Run(ShortConfig(1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	check := func(kind, name string) {
+		if metrics.NonDeterministic(name) {
+			t.Errorf("canonical snapshot leaked nondeterministic %s %q", kind, name)
+		}
+	}
+	for name := range rep.Metrics.Counters {
+		check("counter", name)
+	}
+	for name := range rep.Metrics.Gauges {
+		check("gauge", name)
+	}
+	for name := range rep.Metrics.Histograms {
+		check("histogram", name)
+	}
+	var total uint64
+	for _, name := range []string{"dht/chains_rate_limited", "dht/chains_duplicate", "dht/chains_stale"} {
+		total += rep.Metrics.Counters[name]
+	}
+	if total == 0 {
+		t.Error("campaign exercised no repository hardening counters")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"valid", func(*Config) {}, ""},
+		{"malicious fraction", func(c *Config) { c.System.MaliciousFraction = 0.1 }, "malicious fraction"},
+		{"no fractions", func(c *Config) { c.Fractions = nil }, "no attacker fractions"},
+		{"fraction out of range", func(c *Config) { c.Fractions = []float64{0.5, 1.0} }, "fractions must ascend"},
+		{"fractions not ascending", func(c *Config) { c.Fractions = []float64{0.10, 0.05} }, "fractions must ascend"},
+		{"zero messages", func(c *Config) { c.Messages = 0 }, "messages"},
+		{"rounds exceed messages", func(c *Config) { c.AttackRounds = c.Messages + 1 }, "attack rounds"},
+		{"too few replicas", func(c *Config) { c.Replicas = 2 }, "replicas"},
+		{"zero quorum", func(c *Config) { c.SanctionQuorum = 0 }, "sanction quorum"},
+		{"drop prob", func(c *Config) { c.DropProb = 1.5 }, "drop probability"},
+		{"drop period", func(c *Config) { c.DropPeriod = 1 }, "drop period"},
+		{"bad limits", func(c *Config) { c.Limits.MaxPerKey = -1 }, "per-key cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ShortConfig(1)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFromChaosComposes derives an adversary config from a chaos
+// config and checks the two campaigns draw from disjoint substream
+// families: same experiment seed, different root constants, so running
+// both never replays a stream.
+func TestFromChaosComposes(t *testing.T) {
+	ch := chaos.ShortConfig(42)
+	cfg := FromChaos(ch)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("FromChaos config invalid: %v", err)
+	}
+	if cfg.Seed != ch.Seed {
+		t.Errorf("seed not inherited: %d vs %d", cfg.Seed, ch.Seed)
+	}
+	if cfg.System.MaliciousFraction != 0 {
+		t.Errorf("FromChaos must zero MaliciousFraction, got %v", cfg.System.MaliciousFraction)
+	}
+	if rootSeed(cfg.Seed) == chaos.RootSeed(ch.Seed) {
+		t.Error("adversary and chaos campaigns share a root seed — streams would replay")
+	}
+}
+
+func name(prefix string, seed uint64) string {
+	return prefix + "=" + string(rune('0'+seed/10)) + string(rune('0'+seed%10))
+}

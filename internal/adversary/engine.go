@@ -1,0 +1,472 @@
+package adversary
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+
+	"concilium/internal/core"
+	"concilium/internal/dht"
+	"concilium/internal/id"
+	"concilium/internal/metrics"
+	"concilium/internal/overlay"
+	"concilium/internal/parexec"
+	"concilium/internal/reputation"
+)
+
+// rootSeed derives the campaign's substream family. The XOR constant
+// ("adversar") differs from the chaos campaign's ("concilms"), so a
+// chaos campaign and an adversary campaign at the same seed never
+// replay each other's streams — the composition contract that lets
+// one experiment seed drive both without double-seeding.
+func rootSeed(seed uint64) parexec.Seed {
+	return parexec.NewSeed(seed, seed^0x6164766572736172)
+}
+
+// Run executes an adversarial campaign and returns its report. Cells
+// run in parallel; each derives every random decision from its own
+// substream family, so the report is bit-identical for every Workers
+// value. Panics inside a cell are caught and recorded as a failed
+// no-panic invariant rather than crashing the caller.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(Strategies()))
+	for _, s := range Strategies() {
+		names = append(names, s.Name())
+	}
+	nf := len(cfg.Fractions)
+	nCells := len(names) * nf
+	cells := make([]CellResult, nCells)
+	snaps := make([]metrics.Snapshot, nCells)
+	root := rootSeed(cfg.Seed)
+	err := parexec.ForEach(cfg.Workers, nCells, func(ci int) error {
+		// Fresh strategy instances per cell: strategies carry per-cell
+		// state (the eclipse victim), so sharing across parallel cells
+		// would race.
+		strat := Strategies()[ci/nf]
+		cell, snap, err := runCell(&cfg, strat, cfg.Fractions[ci%nf], root.Sub(uint64(ci)))
+		cells[ci] = cell
+		snaps[ci] = snap
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Seed:       cfg.Seed,
+		Strategies: names,
+		Fractions:  append([]float64(nil), cfg.Fractions...),
+		Cells:      cells,
+	}
+	rep.Metrics, err = metrics.MergeAll(snaps...)
+	if err != nil {
+		return nil, err
+	}
+	finish(rep, &cfg)
+	return rep, nil
+}
+
+// topForwarders runs a stewarding census — every src→dst secure route
+// in the overlay — and returns the n hosts that appear most often as
+// interior hops. Under uniform traffic this is exactly the expected
+// stewarding load, so the census finds the positions a real adversary
+// would corrupt. Ties break by deterministic system order.
+func topForwarders(sys *core.System, n int) ([]id.ID, error) {
+	states := make(map[id.ID]*overlay.RoutingState, len(sys.Order))
+	for _, nid := range sys.Order {
+		states[nid] = sys.Nodes[nid].Routing
+	}
+	stewards := make(map[id.ID]int, len(sys.Order))
+	var scratch []id.ID
+	for _, src := range sys.Order {
+		for _, dst := range sys.Order {
+			if src == dst {
+				continue
+			}
+			route, err := overlay.AppendRouteSecure(states, src, dst, 0, scratch[:0])
+			if err != nil {
+				return nil, err
+			}
+			scratch = route
+			for i := 1; i+1 < len(route); i++ {
+				stewards[route[i]]++
+			}
+		}
+	}
+	ranked := append([]id.ID(nil), sys.Order...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return stewards[ranked[i]] > stewards[ranked[j]]
+	})
+	return ranked[:n], nil
+}
+
+// attackerCount sizes a cell's attacker set: round(f·N), at least one,
+// never crowding out the honest majority.
+func attackerCount(frac float64, n int) int {
+	c := int(frac*float64(n) + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	if c > n-4 {
+		c = n - 4
+	}
+	return c
+}
+
+// runCell builds one deployment, runs one strategy's attack campaign
+// against live traffic, and computes the cell's conviction ROC. All
+// randomness comes from three substreams of the cell seed — 0 builds
+// the system, 1 drives traffic, 2 drives the attack — so the cell is a
+// pure function of (campaign seed, cell index).
+func runCell(cfg *Config, strat Strategy, frac float64, seed parexec.Seed) (cell CellResult, snap metrics.Snapshot, err error) {
+	cell.Strategy = strat.Name()
+	cell.Fraction = frac
+	reg := metrics.NewRegistry()
+	defer func() {
+		snap = reg.Snapshot().Canonical()
+		if p := recover(); p != nil {
+			cell.Panic = fmt.Sprintf("panic: %v", p)
+			err = nil
+		}
+	}()
+
+	sysCfg := cfg.System
+	sysCfg.Workers = 1 // cells are already the parallel axis
+	sysCfg.Metrics = reg
+	sys, err := core.BuildSystem(sysCfg, seed.Stream(0))
+	if err != nil {
+		return cell, snap, err
+	}
+	store, err := dht.New(sys.Ring, cfg.Replicas)
+	if err != nil {
+		return cell, snap, err
+	}
+	store.SetMetrics(reg)
+
+	env := &Env{
+		Cfg:        cfg,
+		Sys:        sys,
+		Store:      store,
+		Suspector:  core.NewCliqueSuspector(),
+		Board:      reputation.NewBoard(),
+		Traffic:    seed.Stream(1),
+		Attack:     seed.Stream(2),
+		Distrusted: make(map[id.ID]bool),
+		keyDir:     make(map[id.ID]ed25519.PublicKey, len(sys.Order)),
+		cell:       &cell,
+	}
+	for _, nid := range sys.Order {
+		env.keyDir[nid] = sys.Nodes[nid].Keys.Public
+	}
+	keys := func(x id.ID) (ed25519.PublicKey, bool) {
+		k, ok := env.keyDir[x]
+		return k, ok
+	}
+	env.Repo, err = dht.NewAccusationRepo(store, keys, sysCfg.Blame.GuiltyThreshold)
+	if err != nil {
+		return cell, snap, err
+	}
+	if err := env.Repo.SetLimits(cfg.Limits); err != nil {
+		return cell, snap, err
+	}
+	env.Repo.SetMetrics(reg)
+
+	// Arm the clique-discounting defense: the grouping is the identity
+	// until repository abuse teaches the suspector who co-signs, after
+	// which k colluders weigh as one witness in every verdict.
+	sys.Engine.SetWitnessGrouping(env.Suspector.Group)
+
+	if err := sys.StartFailures(); err != nil {
+		return cell, snap, err
+	}
+	if err := sys.StartProbing(); err != nil {
+		return cell, snap, err
+	}
+	sys.Run(cfg.Warmup)
+
+	// A positioning adversary: the attacker set is the nAtt hosts the
+	// stewarding census ranks as carrying the most forwarding load.
+	// Byzantine forwarders with no routing role are harmless, so a real
+	// adversary corrupts the hosts traffic actually flows through — and
+	// that is the set the defenses must convict. Behaviors are installed
+	// by the strategy, never the engine.
+	nAtt := attackerCount(frac, len(sys.Order))
+	env.Attackers, err = topForwarders(sys, nAtt)
+	if err != nil {
+		return cell, snap, err
+	}
+	env.refreshHonest()
+	if err := strat.Setup(env); err != nil {
+		return cell, snap, err
+	}
+	cell.Attackers = len(env.Attackers)
+
+	// Interleave attack rounds with traffic batches; the final batch
+	// absorbs the division remainder so exactly Messages route.
+	batch := cfg.Messages / cfg.AttackRounds
+	sent := 0
+	for r := 0; r < cfg.AttackRounds; r++ {
+		env.voteSpam()
+		if err := strat.Round(env, r); err != nil {
+			return cell, snap, err
+		}
+		n := batch
+		if r == cfg.AttackRounds-1 {
+			n = cfg.Messages - sent
+		}
+		if err := env.sendTraffic(n); err != nil {
+			return cell, snap, err
+		}
+		sent += n
+	}
+
+	cell.Curve, cell.Op, err = strat.Curve(env)
+	if err != nil {
+		return cell, snap, err
+	}
+	cell.Nodes = len(sys.Order)
+	cell.Suspected = env.Suspector.SuspectedCount()
+	s := reg.Snapshot()
+	cell.Rejections = CellRejections{
+		RateLimited: s.Counters["dht/chains_rate_limited"],
+		Duplicate:   s.Counters["dht/chains_duplicate"],
+		Stale:       s.Counters["dht/chains_stale"],
+	}
+
+	// Reputation fallback tally. Voting rights are one-strike — stricter
+	// than conviction: a single guilty verdict on record voids a host's
+	// vote (until exonerated), while sanctions still need M. Without
+	// this asymmetry, droppers hovering under the window threshold keep
+	// their votes and can spam an honest victim into a quorum. Suspected
+	// co-signers and detector-flagged hosts are voided too.
+	trusted := func(v id.ID) bool {
+		return !env.Suspector.Suspected(v) &&
+			sys.Window.GuiltyCount(v) == 0 &&
+			!env.Distrusted[v]
+	}
+	cell.RepAttackerRate = poorPeerRate(env.Board, env.Attackers, trusted, cfg.SanctionQuorum)
+	cell.RepHonestRate = poorPeerRate(env.Board, env.Honest, trusted, cfg.SanctionQuorum)
+	return cell, snap, nil
+}
+
+// sendTraffic routes n stewarded messages between pairs drawn from the
+// traffic substream, tallying outcomes, casting honest stewards'
+// no-confidence votes, and publishing accusation chains into the
+// hardened repository.
+func (e *Env) sendTraffic(n int) error {
+	sys := e.Sys
+	for i := 0; i < n; i++ {
+		src := sys.Order[e.Traffic.IntN(len(sys.Order))]
+		dst := sys.Order[e.Traffic.IntN(len(sys.Order))]
+		rep, err := sys.SendMessage(src, dst)
+		if err != nil {
+			return fmt.Errorf("adversary: %s message %d: %w", e.cell.Strategy, e.cell.Sent, err)
+		}
+		e.tally(rep)
+		sys.Run(e.Cfg.Pace)
+	}
+	return nil
+}
+
+// tally accounts one delivery report: counters, reputation votes from
+// honest stewards that issued guilty verdicts, and chain publication.
+func (e *Env) tally(rep *core.DeliveryReport) {
+	e.cell.Sent++
+	if rep.Delivered && rep.AckReceived {
+		e.cell.Delivered++
+	}
+	if len(rep.Verdicts) > 0 {
+		e.cell.Diagnosed++
+	}
+	if rep.Kind == core.DropByNode && e.attSet[rep.DroppedBy] {
+		e.cell.AttackerDrops++
+	}
+	for vi, v := range rep.Verdicts {
+		if !v.Guilty {
+			continue
+		}
+		accuser := rep.Route[vi]
+		if an := e.Sys.Nodes[accuser]; an != nil && an.Behavior.Honest() {
+			e.castVote(accuser, v.Judged)
+		}
+	}
+	if rep.Culprit != (id.ID{}) {
+		e.cell.Convictions++
+	}
+	if rep.Chain != nil {
+		e.publish(rep.Chain, true)
+	}
+}
+
+// voteSpam is the attackers' reputation attack, run every round: the
+// whole attacker set piles no-confidence votes onto one honest victim.
+// The trusted-voter filter is what should keep those votes from
+// reaching the sanctioning quorum.
+func (e *Env) voteSpam() {
+	if len(e.Honest) == 0 {
+		return
+	}
+	victim := e.pickVictim()
+	for _, a := range e.Attackers {
+		e.castVote(a, victim)
+	}
+}
+
+// poorPeerRate is the fraction of hosts the board's trusted quorum
+// declares a poor peer.
+func poorPeerRate(b *reputation.Board, hosts []id.ID, trusted func(id.ID) bool, quorum int) float64 {
+	if len(hosts) == 0 {
+		return 0
+	}
+	var n int
+	for _, h := range hosts {
+		if b.PoorPeer(h, trusted, quorum) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(hosts))
+}
+
+// finish evaluates the campaign invariants in a fixed order.
+func finish(r *Report, cfg *Config) {
+	const lowF = 0.10 + 1e-9
+
+	clean := true
+	detail := ""
+	for i := range r.Cells {
+		if r.Cells[i].Panic != "" {
+			clean = false
+			detail = fmt.Sprintf("%s f=%.2f: %s", r.Cells[i].Strategy, r.Cells[i].Fraction, r.Cells[i].Panic)
+		}
+	}
+	r.addInvariant("no-panic", clean, detail)
+
+	// The campaign's headline contract: at the configured operating
+	// point, every strategy convicts attackers at a strictly higher
+	// rate than honest hosts, for every attacker fraction up to 10%.
+	sep, sepDetail := true, ""
+	worst := 1.0
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Fraction > lowF {
+			continue
+		}
+		margin := c.Op.AttackerRate - c.Op.HonestRate
+		if margin <= 0 {
+			sep = false
+			sepDetail = fmt.Sprintf("%s f=%.2f: attacker %.3f vs honest %.3f",
+				c.Strategy, c.Fraction, c.Op.AttackerRate, c.Op.HonestRate)
+		} else if margin < worst {
+			worst = margin
+		}
+	}
+	if sepDetail == "" {
+		sepDetail = fmt.Sprintf("worst margin %.3f", worst)
+	}
+	r.addInvariant("roc-separation", sep, sepDetail)
+
+	bound, boundDetail := true, ""
+	worstHonest := 0.0
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Fraction > lowF {
+			continue
+		}
+		if c.Op.HonestRate > worstHonest {
+			worstHonest = c.Op.HonestRate
+		}
+		if c.Op.HonestRate > 0.10 {
+			bound = false
+			boundDetail = fmt.Sprintf("%s f=%.2f: honest rate %.3f", c.Strategy, c.Fraction, c.Op.HonestRate)
+		}
+	}
+	if boundDetail == "" {
+		boundDetail = fmt.Sprintf("worst honest rate %.3f", worstHonest)
+	}
+	r.addInvariant("honest-conviction-bound", bound, boundDetail)
+
+	flows, flowsDetail := true, ""
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Sent != cfg.Messages || c.Delivered == 0 || c.Diagnosed == 0 {
+			flows = false
+			flowsDetail = fmt.Sprintf("%s f=%.2f: sent=%d delivered=%d diagnosed=%d",
+				c.Strategy, c.Fraction, c.Sent, c.Delivered, c.Diagnosed)
+		}
+	}
+	if flowsDetail == "" {
+		flowsDetail = fmt.Sprintf("%d msgs per cell", cfg.Messages)
+	}
+	r.addInvariant("overlay-still-routing", flows, flowsDetail)
+
+	pubClean, pubDetail := true, ""
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.PublishErrors > 0 || c.VoteErrors > 0 || c.RebalanceErrors > 0 {
+			pubClean = false
+			pubDetail = fmt.Sprintf("%s f=%.2f: publish=%d vote=%d rebalance=%d",
+				c.Strategy, c.Fraction, c.PublishErrors, c.VoteErrors, c.RebalanceErrors)
+		}
+	}
+	r.addInvariant("no-swallowed-errors", pubClean, pubDetail)
+
+	// The flood strategies must actually exercise the repository's
+	// hardening: a campaign where nothing was rejected tested nothing.
+	hard, hardDetail := true, ""
+	var totalRej uint64
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Strategy != "accusation-spam" && c.Strategy != "collusion" {
+			continue
+		}
+		totalRej += c.Rejections.Total()
+		if c.Rejections.Total() == 0 {
+			hard = false
+			hardDetail = fmt.Sprintf("%s f=%.2f: no hardening rejections", c.Strategy, c.Fraction)
+		}
+	}
+	if hardDetail == "" {
+		hardDetail = fmt.Sprintf("%d rejections across flood cells", totalRej)
+	}
+	r.addInvariant("repo-hardening-exercised", hard, hardDetail)
+
+	// Co-signed floods expose the clique: every flood cell with at
+	// least two attackers ends with the pair (or more) suspected.
+	cliq, cliqDetail := true, ""
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Strategy != "accusation-spam" && c.Strategy != "collusion" || c.Attackers < 2 {
+			continue
+		}
+		if c.Suspected < 2 {
+			cliq = false
+			cliqDetail = fmt.Sprintf("%s f=%.2f: %d suspected of %d attackers",
+				c.Strategy, c.Fraction, c.Suspected, c.Attackers)
+		}
+	}
+	r.addInvariant("clique-suspected", cliq, cliqDetail)
+
+	// The reputation fallback must not be hijackable: trusted
+	// no-confidence quorums sanction attackers at least as often as
+	// honest hosts at every low fraction, up to a single collateral
+	// sanction — one falsely-convicted honest host voted down by honest
+	// peers is the diagnosis noise floor (already bounded by
+	// honest-conviction-bound), not vote capture.
+	repOK, repDetail := true, ""
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Fraction > lowF {
+			continue
+		}
+		honestN := c.Nodes - c.Attackers
+		excess := (c.RepHonestRate - c.RepAttackerRate) * float64(honestN)
+		if excess > 1+1e-9 {
+			repOK = false
+			repDetail = fmt.Sprintf("%s f=%.2f: honest %.3f above attacker %.3f (%.1f hosts)",
+				c.Strategy, c.Fraction, c.RepHonestRate, c.RepAttackerRate, excess)
+		}
+	}
+	r.addInvariant("reputation-not-hijacked", repOK, repDetail)
+}

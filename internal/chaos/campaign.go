@@ -53,6 +53,15 @@ func Run(cfg Config) (*Report, error) {
 	return c.runRecovering()
 }
 
+// RootSeed derives the chaos campaign's substream family from an
+// experiment seed. The XOR constant ("concilms") namespaces chaos
+// streams away from other campaign engines sharing the same seed —
+// the adversary package uses a different constant, so one experiment
+// seed can drive both without any stream replaying.
+func RootSeed(seed uint64) parexec.Seed {
+	return parexec.NewSeed(seed, seed^0x636f6e63696c6d73)
+}
+
 func newCampaign(cfg Config) (*Campaign, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -62,7 +71,7 @@ func newCampaign(cfg Config) (*Campaign, error) {
 	// Independent substreams: the system's event randomness, the fault
 	// schedule, and traffic pair selection never perturb each other, so
 	// episodes can be reordered or resized without rewriting history.
-	root := parexec.NewSeed(cfg.Seed, cfg.Seed^0x636f6e63696c6d73)
+	root := RootSeed(cfg.Seed)
 	reg := metrics.NewRegistry()
 	cfg.System.Metrics = reg
 	sys, err := core.BuildSystem(cfg.System, root.Stream(0))
@@ -74,6 +83,24 @@ func newCampaign(cfg Config) (*Campaign, error) {
 		return nil, err
 	}
 	store.SetMetrics(reg)
+
+	// Adversary knob: mark the tail of the deterministic order as
+	// probabilistic droppers. BuildSystem marks MaliciousFraction at the
+	// head, so the two sets are disjoint; SetBehavior draws no
+	// randomness, so a zero fraction leaves every substream — and the
+	// report — exactly as before the knob existed.
+	marked := 0
+	if cfg.AdversaryFraction > 0 {
+		marked = int(cfg.AdversaryFraction*float64(len(sys.Order)) + 0.5)
+		if marked < 1 {
+			marked = 1
+		}
+		for _, nid := range sys.Order[len(sys.Order)-marked:] {
+			if err := sys.SetBehavior(nid, core.Behavior{DropProb: cfg.AdversaryDropProb}); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	c := &Campaign{
 		cfg:       cfg,
@@ -104,6 +131,7 @@ func newCampaign(cfg Config) (*Campaign, error) {
 	}
 	c.rep.Seed = cfg.Seed
 	c.rep.Nodes = len(sys.Order)
+	c.rep.AdversaryMarked = marked
 	return c, nil
 }
 

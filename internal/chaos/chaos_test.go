@@ -30,6 +30,18 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Pace = 0 },
 		func(c *Config) { c.System.Blame.MinProbesPerLink = 0 },
 		func(c *Config) { c.System.OverlayFraction = 0 },
+		func(c *Config) { c.AdversaryFraction = 0.5 },
+		func(c *Config) { c.AdversaryFraction = -0.1 },
+		// Knob on without a drop probability is underspecified.
+		func(c *Config) { c.AdversaryFraction = 0.1; c.AdversaryDropProb = 0 },
+		func(c *Config) { c.AdversaryFraction = 0.1; c.AdversaryDropProb = 1 },
+		// Head malicious + tail adversaries together must keep an honest
+		// majority.
+		func(c *Config) {
+			c.AdversaryFraction = 0.4
+			c.AdversaryDropProb = 0.5
+			c.System.MaliciousFraction = 0.2
+		},
 	}
 	for i, mutate := range mutations {
 		cfg := ShortConfig(1)
@@ -115,6 +127,36 @@ func TestCampaignSeedChangesOutcome(t *testing.T) {
 	}
 	if a.String() == b.String() {
 		t.Error("different seeds produced identical campaigns")
+	}
+}
+
+func TestCampaignAdversaryKnob(t *testing.T) {
+	t.Parallel()
+	cfg := ShortConfig(5)
+	cfg.AdversaryFraction = 0.1
+	cfg.AdversaryDropProb = 0.5
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AdversaryMarked == 0 {
+		t.Error("knob on but no tail droppers marked")
+	}
+	if !strings.Contains(rep.String(), "adversaries:") {
+		t.Errorf("marked droppers missing from report:\n%s", rep)
+	}
+	// The marking draws no randomness, so the knobless campaign at the
+	// same seed must reproduce the exact pre-knob report — including the
+	// absence of the adversary line.
+	base, err := Run(ShortConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.AdversaryMarked != 0 || strings.Contains(base.String(), "adversaries:") {
+		t.Errorf("knobless campaign reports adversaries:\n%s", base)
+	}
+	if rep.String() == base.String() {
+		t.Error("marked droppers left no observable trace in the campaign")
 	}
 }
 

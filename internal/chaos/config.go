@@ -55,6 +55,17 @@ type Config struct {
 	// SilentLeaves is how many nodes stop publishing probes during the
 	// leaf-silence episode.
 	SilentLeaves int
+	// AdversaryFraction marks this share of the overlay (taken from the
+	// tail of the deterministic node order, disjoint from the
+	// MaliciousFraction head that BuildSystem marks) as Byzantine
+	// probabilistic droppers for the whole campaign. The marking uses
+	// SetBehavior and consumes no randomness, so 0 reproduces the exact
+	// pre-knob campaign byte for byte. For full attack strategies and
+	// conviction ROCs, hand the config to adversary.FromChaos instead.
+	AdversaryFraction float64
+	// AdversaryDropProb is the marked droppers' per-forward drop
+	// probability; required in (0,1) when AdversaryFraction > 0.
+	AdversaryDropProb float64
 	// Warmup is the probing time before any fault or traffic.
 	Warmup time.Duration
 	// Pace is the virtual time between consecutive messages.
@@ -119,6 +130,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("chaos: probe loss %v out of (0,1)", c.ProbeLoss)
 	case c.SilentLeaves <= 0:
 		return fmt.Errorf("chaos: silent leaves %d must be positive", c.SilentLeaves)
+	case c.AdversaryFraction < 0 || c.AdversaryFraction > 0.4 || math.IsNaN(c.AdversaryFraction):
+		return fmt.Errorf("chaos: adversary fraction %v out of [0, 0.4]", c.AdversaryFraction)
+	case c.AdversaryFraction > 0 && (c.AdversaryDropProb <= 0 || c.AdversaryDropProb >= 1 || math.IsNaN(c.AdversaryDropProb)):
+		return fmt.Errorf("chaos: adversary drop probability %v out of (0,1)", c.AdversaryDropProb)
+	case c.AdversaryFraction+c.System.MaliciousFraction > 0.5:
+		return fmt.Errorf("chaos: adversary fraction %v plus malicious fraction %v exceeds 0.5 (honest majority lost)",
+			c.AdversaryFraction, c.System.MaliciousFraction)
 	case c.Warmup <= 0 || c.Pace <= 0:
 		return fmt.Errorf("chaos: warmup %v and pace %v must be positive", c.Warmup, c.Pace)
 	case c.System.Blame.MinProbesPerLink < 1:

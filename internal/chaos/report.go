@@ -27,6 +27,10 @@ type Report struct {
 	FinalNodes int
 	FaultKinds []string
 
+	// AdversaryMarked is how many tail nodes the AdversaryFraction knob
+	// marked as droppers; 0 when the knob is off.
+	AdversaryMarked int
+
 	Sent, Delivered                            int
 	NodeDrops, LinkDrops, AckDrops, ChurnDrops int
 	Diagnosed, Convictions, NetworkBlamed      int
@@ -73,6 +77,11 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "chaos campaign seed=%d\n", r.Seed)
 	fmt.Fprintf(&b, "overlay: %d nodes at start, %d after churn\n", r.Nodes, r.FinalNodes)
 	fmt.Fprintf(&b, "fault kinds: %s\n", strings.Join(r.FaultKinds, ", "))
+	// Rendered only when the knob is on, so reports from knobless
+	// configs stay byte-identical to the pre-knob engine.
+	if r.AdversaryMarked > 0 {
+		fmt.Fprintf(&b, "adversaries: %d tail droppers marked\n", r.AdversaryMarked)
+	}
 	fmt.Fprintf(&b, "traffic: %d sent, %d delivered+acked\n", r.Sent, r.Delivered)
 	fmt.Fprintf(&b, "drops: %d node, %d link, %d ack, %d churn\n",
 		r.NodeDrops, r.LinkDrops, r.AckDrops, r.ChurnDrops)

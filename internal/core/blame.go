@@ -102,12 +102,27 @@ type BlameResult struct {
 // returning false discards the record.
 type RecordFilter func(judged id.ID, rec tomography.ProbeRecord) (tomography.ProbeRecord, bool)
 
+// WitnessGrouping maps a prober to its witness group. Probers sharing
+// a group aggregate into ONE witness before link confidences are
+// combined — the clique-discounting rule: k colluders publishing k
+// corroborating observations carry the weight of a single independent
+// witness. The self-exclusion rule extends to the whole group: nobody
+// in the judged node's group may testify about it.
+type WitnessGrouping func(prober id.ID) id.ID
+
 // BlameOption configures a BlameEngine.
 type BlameOption func(*BlameEngine)
 
 // WithRecordFilter installs a judgment-time record transform.
 func WithRecordFilter(f RecordFilter) BlameOption {
 	return func(e *BlameEngine) { e.filter = f }
+}
+
+// WithWitnessGrouping installs a witness grouping. Nil (the default)
+// keeps the paper's record-level averaging, in which every archived
+// probe counts equally.
+func WithWitnessGrouping(g WitnessGrouping) BlameOption {
+	return func(e *BlameEngine) { e.group = g }
 }
 
 // WithSelfExclusion controls whether the judged node's own probes are
@@ -123,6 +138,7 @@ type BlameEngine struct {
 	archive       *tomography.Archive
 	cfg           BlameConfig
 	filter        RecordFilter
+	group         WitnessGrouping
 	selfExclusion bool
 }
 
@@ -144,6 +160,12 @@ func NewBlameEngine(archive *tomography.Archive, cfg BlameConfig, opts ...BlameO
 // Config returns the engine's parameters.
 func (e *BlameEngine) Config() BlameConfig { return e.cfg }
 
+// SetWitnessGrouping replaces the engine's grouping after construction.
+// Campaigns install it once collusion suspicions accumulate; nil
+// restores record-level averaging. All judgments run on the simulator
+// goroutine, so no locking is needed.
+func (e *BlameEngine) SetWitnessGrouping(g WitnessGrouping) { e.group = g }
+
 // linkConfidence evaluates the inner expression of Eq. 3 for one link:
 // each admissible probe contributes a when it saw the link down and
 // (1−a) when it saw it up, averaged over the probes. No probes means no
@@ -156,6 +178,9 @@ func (e *BlameEngine) linkConfidence(judged id.ID, link topology.LinkID, at nets
 	recs := e.archive.Window(link, from, to)
 	lc := LinkConfidence{Link: link}
 	a := e.cfg.ProbeAccuracy
+	if e.group != nil {
+		return e.groupedConfidence(judged, recs, lc, a)
+	}
 	var sum float64
 	for _, r := range recs {
 		if e.selfExclusion && r.Prober == judged {
@@ -178,6 +203,60 @@ func (e *BlameEngine) linkConfidence(judged id.ID, link topology.LinkID, at nets
 		return lc
 	}
 	lc.Confidence = fuzzy.Clamp(sum / float64(lc.Probes))
+	return lc
+}
+
+// groupedConfidence is the clique-discounted variant of linkConfidence:
+// records aggregate per witness group first (each group's records
+// average into one vote), then groups average into the link confidence,
+// so k colluding probers weigh as one witness. Group accumulators are
+// kept in first-seen order — the archive window is deterministic — so
+// the floating-point summation order is fixed. Self-exclusion extends
+// to the judged node's whole group.
+func (e *BlameEngine) groupedConfidence(judged id.ID, recs []tomography.ProbeRecord, lc LinkConfidence, a float64) LinkConfidence {
+	jg := e.group(judged)
+	type groupAcc struct {
+		sum float64
+		n   int
+	}
+	var accs []groupAcc
+	idx := make(map[id.ID]int, 8)
+	for _, r := range recs {
+		if e.selfExclusion && r.Prober == judged {
+			continue
+		}
+		g := e.group(r.Prober)
+		if e.selfExclusion && g == jg {
+			continue
+		}
+		if e.filter != nil {
+			var keep bool
+			if r, keep = e.filter(judged, r); !keep {
+				continue
+			}
+		}
+		lc.Probes++
+		v := a
+		if r.Up {
+			v = 1 - a
+		}
+		j, ok := idx[g]
+		if !ok {
+			j = len(accs)
+			idx[g] = j
+			accs = append(accs, groupAcc{})
+		}
+		accs[j].sum += v
+		accs[j].n++
+	}
+	if lc.Probes == 0 {
+		return lc
+	}
+	var sum float64
+	for _, acc := range accs {
+		sum += acc.sum / float64(acc.n)
+	}
+	lc.Confidence = fuzzy.Clamp(sum / float64(len(accs)))
 	return lc
 }
 

@@ -79,6 +79,28 @@ func (s *System) JoinNode(router topology.RouterID) (id.ID, error) {
 	if err != nil {
 		return id.ID{}, err
 	}
+	return s.admit(cert, keys, router)
+}
+
+// JoinNodeAt admits a node with a caller-chosen identifier — the
+// eclipse threat model, where an adversary has defeated the CA's
+// random assignment (§2) and positions identifiers adjacent to a
+// victim. The adversary campaign uses it to measure whether the
+// density checks notice; everything after issuance follows JoinNode.
+func (s *System) JoinNodeAt(router topology.RouterID, nid id.ID) (id.ID, error) {
+	keys := sigcrypto.KeyPairFromRand(s.rng)
+	if err := s.CA.Claim(nid); err != nil {
+		return id.ID{}, err
+	}
+	cert, err := s.CA.IssueFor(hostAddr(router), nid, keys.Public)
+	if err != nil {
+		return id.ID{}, err
+	}
+	return s.admit(cert, keys, router)
+}
+
+// admit folds a freshly certified node into the overlay.
+func (s *System) admit(cert sigcrypto.Certificate, keys sigcrypto.KeyPair, router topology.RouterID) (id.ID, error) {
 	newRing, err := s.Ring.WithMember(cert.NodeID)
 	if err != nil {
 		return id.ID{}, err

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"concilium/internal/id"
+)
+
+// CliqueSuspector accumulates collusion suspicions as a union-find over
+// node identifiers: co-signers of abusive accusation chains (rate-limit
+// trips, duplicate floods, stale replays) are merged into one suspected
+// clique. Group returns a canonical representative — the smallest
+// identifier in the component — so the induced WitnessGrouping is a
+// pure function of the merged pair set: the same suspicions yield the
+// same grouping no matter in which order they were discovered.
+type CliqueSuspector struct {
+	// parent holds the union-find forest. Every identifier ever merged
+	// has an entry (roots map to themselves), so membership doubles as
+	// the "suspected" predicate; unknown identifiers are their own
+	// singleton group.
+	parent map[id.ID]id.ID
+}
+
+// NewCliqueSuspector creates an empty suspector.
+func NewCliqueSuspector() *CliqueSuspector {
+	return &CliqueSuspector{parent: make(map[id.ID]id.ID)}
+}
+
+func (c *CliqueSuspector) find(x id.ID) id.ID {
+	p, ok := c.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	root := c.find(p)
+	c.parent[x] = root
+	return root
+}
+
+// Suspect merges a and b into one suspected clique.
+func (c *CliqueSuspector) Suspect(a, b id.ID) {
+	if a == b {
+		return
+	}
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	// The smaller identifier stays root, which keeps the canonical
+	// representative the component minimum regardless of merge order.
+	// Fresh identifiers are their own roots, so giving both roots an
+	// entry is what marks them (and their members) suspected.
+	if id.Less(rb, ra) {
+		ra, rb = rb, ra
+	}
+	c.parent[ra] = ra
+	c.parent[rb] = ra
+}
+
+// SuspectAll merges every listed identifier into one clique.
+func (c *CliqueSuspector) SuspectAll(ids []id.ID) {
+	for i := 1; i < len(ids); i++ {
+		c.Suspect(ids[0], ids[i])
+	}
+}
+
+// Group returns x's canonical clique representative — itself when x is
+// not suspected of anything — directly usable as a WitnessGrouping.
+func (c *CliqueSuspector) Group(x id.ID) id.ID { return c.find(x) }
+
+// Suspected reports whether x belongs to a non-trivial suspected
+// clique.
+func (c *CliqueSuspector) Suspected(x id.ID) bool {
+	_, ok := c.parent[x]
+	return ok
+}
+
+// SuspectedCount returns how many identifiers sit in a non-trivial
+// suspected clique.
+func (c *CliqueSuspector) SuspectedCount() int { return len(c.parent) }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"concilium/internal/id"
+	"concilium/internal/netsim"
 )
 
 // §3.5's rebuttal flow: a host archives the fault attributions it
@@ -19,6 +21,20 @@ import (
 // ErrNoDefense indicates the host holds no downstream verdict for the
 // accused message — it cannot push the blame further.
 var ErrNoDefense = errors.New("core: no archived downstream verdict for this message")
+
+// Rebuttal-abuse errors: adversaries replay old rebuttals against
+// fresh blame, or sit on a rebuttal until the verdict has hardened.
+var (
+	// ErrStaleRebuttal indicates the archived downstream verdict was
+	// issued too far from the presented accusation — replaying a
+	// rebuttal from an earlier accusation epoch does not clear new
+	// blame.
+	ErrStaleRebuttal = errors.New("core: archived downstream verdict outside the rebuttal window")
+	// ErrRebuttalWindowClosed indicates the rebuttal itself was
+	// presented after the window around the accusation closed; the
+	// blame stands.
+	ErrRebuttalWindowClosed = errors.New("core: rebuttal presented after the verdict window closed")
+)
 
 // DefenseArchive stores the accusations a host itself issued, keyed by
 // message, for later rebuttals. It is safe for concurrent use.
@@ -64,19 +80,60 @@ func (d *DefenseArchive) Len() int {
 // §3.5) then re-verifies the extended chain and recalculates
 // trustworthiness in light of the new evidence.
 func (d *DefenseArchive) Defend(presented *RevisionChain) (*RevisionChain, error) {
-	if presented == nil || len(presented.Links) == 0 {
-		return nil, fmt.Errorf("core: empty accusation presented")
-	}
-	if presented.Culprit() != d.owner {
-		return nil, fmt.Errorf("core: accusation names %s, not %s",
-			presented.Culprit().Short(), d.owner.Short())
-	}
-	msgID := presented.Links[len(presented.Links)-1].MsgID
-	d.mu.Lock()
-	downstream, ok := d.own[msgID]
-	d.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w (message %d)", ErrNoDefense, msgID)
+	downstream, _, err := d.lookupDefense(presented)
+	if err != nil {
+		return nil, err
 	}
 	return presented.Extend(downstream)
+}
+
+// DefendWithin is Defend under the admissibility discipline that
+// rebuttal abuse forces (§3.5): the archived downstream verdict must
+// have been issued within window of the accusation it rebuts — a
+// convicted attacker cannot replay an old valid rebuttal against fresh
+// blame — and the rebuttal must be presented (at now) before the
+// window around the accusation closes, so verdicts harden once their
+// evidence has aged out.
+func (d *DefenseArchive) DefendWithin(presented *RevisionChain, now netsim.Time, window time.Duration) (*RevisionChain, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("core: rebuttal window %v must be positive", window)
+	}
+	downstream, accusedAt, err := d.lookupDefense(presented)
+	if err != nil {
+		return nil, err
+	}
+	if now.Sub(accusedAt) > window {
+		return nil, fmt.Errorf("%w: accused at %v, presented %v later",
+			ErrRebuttalWindowClosed, accusedAt, now.Sub(accusedAt))
+	}
+	gap := downstream.At.Sub(accusedAt)
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > window {
+		return nil, fmt.Errorf("%w: verdict at %v, accusation at %v",
+			ErrStaleRebuttal, downstream.At, accusedAt)
+	}
+	return presented.Extend(downstream)
+}
+
+// lookupDefense validates the presented chain and retrieves the
+// owner's archived downstream verdict for its message, along with the
+// presented accusation's timestamp.
+func (d *DefenseArchive) lookupDefense(presented *RevisionChain) (Accusation, netsim.Time, error) {
+	if presented == nil || len(presented.Links) == 0 {
+		return Accusation{}, 0, fmt.Errorf("core: empty accusation presented")
+	}
+	if presented.Culprit() != d.owner {
+		return Accusation{}, 0, fmt.Errorf("core: accusation names %s, not %s",
+			presented.Culprit().Short(), d.owner.Short())
+	}
+	last := presented.Links[len(presented.Links)-1]
+	d.mu.Lock()
+	downstream, ok := d.own[last.MsgID]
+	d.mu.Unlock()
+	if !ok {
+		return Accusation{}, 0, fmt.Errorf("%w (message %d)", ErrNoDefense, last.MsgID)
+	}
+	return downstream, last.At, nil
 }

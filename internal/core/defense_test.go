@@ -2,8 +2,13 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand/v2"
 	"testing"
+	"time"
+
+	"concilium/internal/netsim"
+	"concilium/internal/topology"
 )
 
 func TestDefenseArchiveRebuttal(t *testing.T) {
@@ -66,6 +71,100 @@ func TestDefenseArchiveCannotRebutWithoutEvidence(t *testing.T) {
 	dArchive := NewDefenseArchive(ids[3].id)
 	if _, err := dArchive.Defend(presented); !errors.Is(err, ErrNoDefense) {
 		t.Errorf("culprit without evidence: %v", err)
+	}
+}
+
+// TestDefendWithinRebuttalAbuse pins the §3.5 admissibility discipline
+// against the two abuse patterns the adversary campaign exercises: a
+// convicted host replaying an old valid rebuttal against fresh blame,
+// and a host sitting on its rebuttal until the verdict has hardened.
+// The verdicts are pinned across seeds — only identities vary, never
+// the outcome.
+func TestDefendWithinRebuttalAbuse(t *testing.T) {
+	t.Parallel()
+	const (
+		msgID  = 99
+		window = 2 * time.Minute
+	)
+	accusedAt := netsim.Time(0).Add(10 * time.Minute)
+	for _, seed := range []uint64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewPCG(seed, seed^0xdefe5e))
+			ids, keys := newIdentities(4, r) // A, B, C, D(est)
+			dest := ids[3].id
+
+			accusation := func(accuser, accused testIdentity, at netsim.Time) Accusation {
+				res := buildGuiltyResult(t, accused.id, at)
+				commit := NewCommitment(accused.keys, accuser.id, accused.id, dest, msgID, at-100)
+				acc, err := NewAccusation(accuser.keys, accuser.id, res, msgID, []topology.LinkID{1, 2}, commit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return acc
+			}
+			presented, err := NewRevisionChain([]Accusation{accusation(ids[0], ids[1], accusedAt)})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cases := []struct {
+				name         string
+				downstreamAt netsim.Time // when B issued its verdict against C
+				now          netsim.Time // when B presents the rebuttal
+				wantErr      error
+			}{
+				{
+					name:         "fresh rebuttal clears blame",
+					downstreamAt: accusedAt.Add(30 * time.Second),
+					now:          accusedAt.Add(time.Minute),
+				},
+				{
+					name:         "replayed old rebuttal rejected",
+					downstreamAt: accusedAt.Add(-5 * time.Minute),
+					now:          accusedAt.Add(time.Minute),
+					wantErr:      ErrStaleRebuttal,
+				},
+				{
+					name:         "rebuttal after verdict hardened",
+					downstreamAt: accusedAt.Add(30 * time.Second),
+					now:          accusedAt.Add(10 * time.Minute),
+					wantErr:      ErrRebuttalWindowClosed,
+				},
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					archive := NewDefenseArchive(ids[1].id)
+					if err := archive.Record(accusation(ids[1], ids[2], tc.downstreamAt)); err != nil {
+						t.Fatal(err)
+					}
+					amended, err := archive.DefendWithin(presented, tc.now, window)
+					if tc.wantErr != nil {
+						if !errors.Is(err, tc.wantErr) {
+							t.Fatalf("err = %v, want %v", err, tc.wantErr)
+						}
+						return
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Pinned verdict: blame moves to C and the extended
+					// chain still verifies end to end.
+					if amended.Culprit() != ids[2].id {
+						t.Errorf("culprit = %s, want C", amended.Culprit().Short())
+					}
+					if err := amended.Verify(keys, 0.4); err != nil {
+						t.Errorf("rebutted chain unverifiable: %v", err)
+					}
+				})
+			}
+
+			// A degenerate window is a caller bug, not an open gate.
+			archive := NewDefenseArchive(ids[1].id)
+			if _, err := archive.DefendWithin(presented, accusedAt, 0); err == nil {
+				t.Error("non-positive rebuttal window accepted")
+			}
+		})
 	}
 }
 

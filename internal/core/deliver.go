@@ -175,7 +175,7 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 			break
 		}
 		reached = i + 1
-		if next.Behavior.DropsMessages && route[i+1] != dst {
+		if route[i+1] != dst && s.dropsMessage(next) {
 			rep.Kind = DropByNode
 			rep.DroppedBy = route[i+1]
 			break
@@ -320,6 +320,25 @@ func (s *System) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
 	s.met.chainLen.Observe(int64(len(chain.Links)))
 	s.emit(trace.Event{At: now, Kind: trace.KindAccusation, Node: src, Peer: rep.Culprit})
 	return rep, nil
+}
+
+// dropsMessage evaluates a forwarder's drop policy for one stewarded
+// message it holds. The probabilistic dropper consumes the shared rng
+// only when its knob is set, so a system without adversaries draws
+// exactly the same random stream as before the policy existed (the
+// chaos-hook convention).
+func (s *System) dropsMessage(n *Node) bool {
+	b := n.Behavior
+	if b.DropsMessages {
+		return true
+	}
+	if b.DropPeriod > 0 {
+		n.fwdSeq++
+		if n.fwdSeq%uint64(b.DropPeriod) == 0 {
+			return true
+		}
+	}
+	return b.DropProb > 0 && s.rng.Float64() < b.DropProb
 }
 
 // timedBlame wraps the blame engine with metrics: call count, probes

@@ -418,16 +418,44 @@ func hostAddr(router topology.RouterID) string {
 }
 
 // collusionFilter implements the §4.3 adversary: colluding probers
-// adapt their published results to the judgment — links up when an
-// honest node is judged, links down when a colluder is.
+// adapt their published results to the judgment — links up when a
+// target is judged (framing it), links down when an ally is (excusing
+// it as a network fault). Allies are fellow clique members when the
+// prober belongs to a clique, and any fellow dropper otherwise.
 func (s *System) collusionFilter(judged id.ID, rec tomography.ProbeRecord) (tomography.ProbeRecord, bool) {
 	prober := s.Nodes[rec.Prober]
 	if prober == nil || !prober.Behavior.InvertsProbes {
 		return rec, true
 	}
-	judgedNode := s.Nodes[judged]
-	rec.Up = judgedNode == nil || !judgedNode.Behavior.DropsMessages
+	ally := false
+	if judgedNode := s.Nodes[judged]; judgedNode != nil {
+		if c := prober.Behavior.Clique; c != 0 {
+			ally = judgedNode.Behavior.Clique == c
+		} else {
+			ally = judgedNode.Behavior.DropsMessages
+		}
+	}
+	rec.Up = !ally
 	return rec, true
+}
+
+// SetBehavior installs a node's (mis)behavior policy at runtime — the
+// adversary campaign's hook for marking attackers after construction.
+// Like the chaos hooks, restoring the zero Behavior restores full
+// protocol compliance (and the unperturbed random stream).
+func (s *System) SetBehavior(nid id.ID, b Behavior) error {
+	n, ok := s.Nodes[nid]
+	if !ok {
+		return fmt.Errorf("core: unknown node %s", nid.Short())
+	}
+	if b.DropProb < 0 || b.DropProb >= 1 || math.IsNaN(b.DropProb) {
+		return fmt.Errorf("core: drop probability %v out of [0,1)", b.DropProb)
+	}
+	if b.DropPeriod < 0 {
+		return fmt.Errorf("core: drop period %d negative", b.DropPeriod)
+	}
+	n.Behavior = b
+	return nil
 }
 
 // Keys returns the CA-backed key directory for snapshot and accusation
