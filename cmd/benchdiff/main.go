@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	benchdiff [-max-regress 0.25] [-max-alloc-regress 0.25] [-require-checks] [-canonical] baseline.json current.json
+//	benchdiff [-max-regress 0.25] [-max-alloc-regress 0.25] [-max-rss-regress 0.25]
+//	          [-require-checks] [-canonical] baseline.json current.json
 //
 // The exit status is the gate: nonzero when any figure's ns/op grew
 // beyond the tolerance, when a baseline figure vanished, or when a
@@ -17,6 +18,10 @@
 // gate typically runs tighter than -max-regress; 0 (the default)
 // disables it. -min-allocs exempts figures whose baseline allocs/op is
 // at or below the floor, where GC noise dominates.
+// -max-rss-regress adds a resident-footprint gate: any figure whose
+// peak_rss_bytes or bytes_per_node grew beyond the tolerance fails.
+// This is the Scale figure's memory budget — the axis the compact core
+// exists to hold down; 0 (the default) disables it.
 // -require-checks fails when any figure's deterministic check values
 // differ from the baseline's (same-seed comparisons only).
 // -canonical fails unless both reports' deterministic cores are
@@ -53,6 +58,7 @@ func run(w io.Writer, args []string) error {
 	minNs := fs.Int64("min-ns", 0, "exempt figures whose baseline ns/op is at or below this from the timing gate")
 	maxAllocRegress := fs.Float64("max-alloc-regress", 0, "maximum tolerated allocs/op or bytes/op growth (0 disables the allocation gate)")
 	minAllocs := fs.Int64("min-allocs", 1000, "exempt figures whose baseline allocs/op is at or below this from the allocation gate")
+	maxRSSRegress := fs.Float64("max-rss-regress", 0, "maximum tolerated peak_rss_bytes or bytes_per_node growth (0 disables the footprint gate)")
 	requireChecks := fs.Bool("require-checks", false, "fail when deterministic check values diverge from the baseline")
 	canonical := fs.Bool("canonical", false, "fail unless both reports' deterministic cores are byte-identical")
 	figures := fs.String("figures", "", "comma-separated figure names; restrict both reports to these before comparing")
@@ -111,6 +117,19 @@ func run(w io.Writer, args []string) error {
 				d.Figure, d.Base, d.Cur, d.Metric, d.Ratio, 1+*maxAllocRegress)
 		}
 		if len(allocRegs) > 0 {
+			failed = true
+		}
+	}
+	if *maxRSSRegress > 0 {
+		rssRegs, err := benchreport.CompareFootprint(base, cur, *maxRSSRegress)
+		if err != nil {
+			return err
+		}
+		for _, d := range rssRegs {
+			fmt.Fprintf(w, "FOOTPRINT REGRESSION %-16s %d -> %d %s (%.2fx, tolerance %.2fx)\n",
+				d.Figure, d.Base, d.Cur, d.Metric, d.Ratio, 1+*maxRSSRegress)
+		}
+		if len(rssRegs) > 0 {
 			failed = true
 		}
 	}

@@ -220,7 +220,7 @@ func TestRunScaleFigure(t *testing.T) {
 	if err := run(&buf, []string{"-fig", "10", "-scale-n", "60", "-seed", "5"}); err != nil {
 		t.Fatalf("text mode: %v\n%s", err, buf.String())
 	}
-	if !strings.Contains(buf.String(), "BuildSystem scale") {
+	if !strings.Contains(buf.String(), "BuildCompactSystem scale") {
 		t.Errorf("text output missing scale table:\n%s", buf.String())
 	}
 

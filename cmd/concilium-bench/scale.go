@@ -19,11 +19,14 @@ import (
 )
 
 // The Scale figure (-fig 10) benchmarks system construction itself:
-// one BuildSystem per requested overlay size, reporting wall time,
-// per-node build cost, peak RSS, and the speedup of the configured
-// worker count over a serial reference build. Its deterministic checks
-// include a canonical-snapshot hash, so the benchdiff -canonical gate
-// proves builds are byte-identical across worker counts.
+// one BuildCompactSystem per requested overlay size, reporting wall
+// time, per-node build cost, peak RSS, resident bytes per node, and the
+// speedup of the configured worker count over a serial reference build.
+// Its deterministic checks include a canonical-snapshot hash, so the
+// benchdiff -canonical gate proves builds are byte-identical across
+// worker counts. The compact core is what moves the frontier: the
+// legacy per-node representation topped out around N=20k in a CI-sized
+// memory budget, while the struct-of-arrays build reaches N=1M.
 const scaleFig = 10
 
 // parseScaleNs parses the -scale-n flag: a comma-separated list of
@@ -76,21 +79,25 @@ func scaleSystemConfig(n, workers int) core.SystemConfig {
 	return cfg
 }
 
-// measureScaleBuild runs one BuildSystem and returns its deterministic
-// checks and timing envelope. The canonical hash is folded to 53 bits so
-// it survives the float64 check channel exactly.
+// measureScaleBuild runs one BuildCompactSystem and returns its
+// deterministic checks and timing envelope. The canonical hash is the
+// compact core's index-based snapshot (trees excluded — they are
+// derived on demand), folded to 53 bits so it survives the float64
+// check channel exactly; it was re-pinned when the figure moved off
+// BuildSystem, with TestCompactSystemMatchesLegacyBuild carrying the
+// equivalence lineage across the re-pin.
 func measureScaleBuild(n, workers int, rng *rand.Rand) (map[string]float64, benchreport.Timing, error) {
 	cfg := scaleSystemConfig(n, workers)
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	sys, err := core.BuildSystem(cfg, rng)
+	sys, err := core.BuildCompactSystem(cfg, rng)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return nil, benchreport.Timing{}, err
 	}
-	nodes := int64(len(sys.Order))
+	nodes := int64(sys.Size())
 	checks := map[string]float64{
 		"overlay_n":      float64(nodes),
 		"routers":        float64(sys.Topo.NumRouters()),
@@ -104,6 +111,7 @@ func measureScaleBuild(n, workers int, rng *rand.Rand) (map[string]float64, benc
 		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / nodes,
 		Ops:          nodes,
 		PeakRSSBytes: profiling.PeakRSSBytes(),
+		BytesPerNode: sys.Footprint() / nodes,
 	}
 	return checks, t, nil
 }
@@ -144,9 +152,9 @@ func runScale(w io.Writer, ns []int, root parexec.Seed, workers int) ([]benchrep
 			Checks: checks,
 			Timing: timing,
 		})
-		fmt.Fprintf(w, "scale-n%d: %v build, %d nodes, %d allocs/node (speedup %.2fx at %d workers)\n",
+		fmt.Fprintf(w, "scale-n%d: %v build, %d nodes, %d bytes/node resident, %d allocs/node (speedup %.2fx at %d workers)\n",
 			n, time.Duration(timing.WallNs).Round(time.Millisecond), timing.Ops,
-			timing.AllocsPerOp, timing.SpeedupX, resolved)
+			timing.BytesPerNode, timing.AllocsPerOp, timing.SpeedupX, resolved)
 	}
 	return figs, nil
 }
@@ -154,14 +162,15 @@ func runScale(w io.Writer, ns []int, root parexec.Seed, workers int) ([]benchrep
 // scaleTable renders the Scale figures for text/csv mode.
 func scaleTable(figs []benchreport.Figure) experiments.Table {
 	t := experiments.Table{
-		Title:   "Figure 10: BuildSystem scale (ascending overlay N)",
-		Columns: []string{"overlay N", "wall", "ns/node", "allocs/node", "peak RSS MiB", "speedup-x"},
+		Title:   "Figure 10: BuildCompactSystem scale (ascending overlay N)",
+		Columns: []string{"overlay N", "wall", "ns/node", "bytes/node", "allocs/node", "peak RSS MiB", "speedup-x"},
 	}
 	for _, f := range figs {
 		t.Rows = append(t.Rows, []string{
 			strconv.FormatInt(f.Timing.Ops, 10),
 			time.Duration(f.Timing.WallNs).Round(time.Millisecond).String(),
 			strconv.FormatInt(f.Timing.NsPerOp, 10),
+			strconv.FormatInt(f.Timing.BytesPerNode, 10),
 			strconv.FormatInt(f.Timing.AllocsPerOp, 10),
 			fmt.Sprintf("%.1f", float64(f.Timing.PeakRSSBytes)/(1<<20)),
 			fmt.Sprintf("%.2f", f.Timing.SpeedupX),

@@ -33,7 +33,9 @@ import (
 
 // Schema identifies the report format; Version is its revision.
 // Version history: 1 — initial layout; 2 — Timing gains peak_rss_bytes
-// (the Scale figure's resident-memory high-water mark).
+// (the Scale figure's resident-memory high-water mark) and, later in
+// the same revision (additive, omitempty), bytes_per_node — the Scale
+// figure's measured resident footprint per overlay node.
 const (
 	Schema  = "concilium/bench-report"
 	Version = 2
@@ -62,6 +64,12 @@ type Timing struct {
 	// largest figure's value is meaningful — the Scale figure runs its
 	// node counts ascending for exactly that reason.
 	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// BytesPerNode is the figure's measured long-lived footprint per
+	// overlay node (the Scale figure reports CompactSystem.Footprint
+	// divided by the node count; 0 elsewhere). Unlike BytesPerOp — which
+	// counts cumulative allocation — this is resident state, the number
+	// that decides how large an overlay fits in memory.
+	BytesPerNode int64 `json:"bytes_per_node,omitempty"`
 }
 
 // Figure is one benchmarked unit of work — a paper figure in
@@ -389,6 +397,55 @@ func CompareAllocs(base, cur *Report, maxRegress float64, minAllocs int64) ([]Al
 		}{
 			{"allocs/op", bf.Timing.AllocsPerOp, cf.Timing.AllocsPerOp},
 			{"bytes/op", bf.Timing.BytesPerOp, cf.Timing.BytesPerOp},
+		}
+		for _, ax := range axes {
+			if ax.base <= 0 {
+				continue
+			}
+			ratio := float64(ax.cur) / float64(ax.base)
+			if ratio > 1+maxRegress {
+				out = append(out, AllocDelta{
+					Figure: bf.Name, Metric: ax.metric,
+					Base: ax.base, Cur: ax.cur, Ratio: ratio,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Figure != out[j].Figure {
+			return out[i].Figure < out[j].Figure
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out, nil
+}
+
+// CompareFootprint gates cur's resident-memory profile against base:
+// any figure whose peak_rss_bytes or bytes_per_node grew by more than
+// maxRegress (0.25 = +25%) is a regression. Axes with a zero baseline
+// are skipped, so reports predating the field pass vacuously. Resident
+// footprint is the Scale figure's headline budget — far more stable
+// across machines than wall clock — so this gate can run tight.
+func CompareFootprint(base, cur *Report, maxRegress float64) ([]AllocDelta, error) {
+	if maxRegress <= 0 {
+		return nil, fmt.Errorf("benchreport: max rss regress %v must be positive", maxRegress)
+	}
+	curByName := make(map[string]*Figure, len(cur.Figures))
+	for i := range cur.Figures {
+		curByName[cur.Figures[i].Name] = &cur.Figures[i]
+	}
+	var out []AllocDelta
+	for _, bf := range base.Figures {
+		cf, ok := curByName[bf.Name]
+		if !ok {
+			continue
+		}
+		axes := []struct {
+			metric    string
+			base, cur int64
+		}{
+			{"peak-rss", bf.Timing.PeakRSSBytes, cf.Timing.PeakRSSBytes},
+			{"bytes/node", bf.Timing.BytesPerNode, cf.Timing.BytesPerNode},
 		}
 		for _, ax := range axes {
 			if ax.base <= 0 {

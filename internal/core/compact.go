@@ -1,0 +1,291 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"concilium/internal/id"
+	"concilium/internal/overlay"
+	"concilium/internal/parexec"
+	"concilium/internal/sigcrypto"
+	"concilium/internal/stats"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+)
+
+// CompactSystem is the memory-compact deployment core behind the scale
+// frontier: the exact generative process of BuildSystem — same serial
+// rng prefix, same per-node substreams, same constrained fills — stored
+// flat instead of pointer-per-node. Nodes are uint32 positions in the
+// sorted ring; certificates and keys live in three shared byte slabs
+// (32 B public key, 64 B private key, 64 B certificate signature per
+// node) with accessors returning views; tomography trees, being a pure
+// deterministic function of the immutable graph and each node's routing
+// peers, are not stored at all — TreeOf materializes one on demand.
+//
+// The legacy System remains the protocol engine (probing, blame,
+// adversary campaigns); CompactSystem is what lets the build itself
+// reach N=1M in commodity RAM.
+type CompactSystem struct {
+	Config  SystemConfig
+	Topo    *topology.Graph
+	CA      *sigcrypto.Authority
+	Overlay *overlay.Compact
+
+	// slabOf maps ring position to slab position. Slabs are append-only
+	// and build-ordered: the node built p-th (the legacy Order position)
+	// owns slab p, and joiners append. Departures splice slabOf but keep
+	// the slab row — churn at compact scale leaks 165 B per departure,
+	// which is the right trade against compacting four slabs per event.
+	slabOf []uint32
+
+	routers      []topology.RouterID // by slab position
+	pubKeys      []byte              // ed25519.PublicKeySize per slab row
+	privKeys     []byte              // ed25519.PrivateKeySize per slab row
+	certSigs     []byte              // ed25519.SignatureSize per slab row
+	behaviorBits []byte              // bit0 DropsMessages, bit1 InvertsProbes
+
+	rng stats.Rand
+}
+
+// BuildCompactSystem constructs the compact deployment deterministically
+// from cfg and rng. The shared-rng prefix (topology, host permutation,
+// CA keypair, SeedFrom) and the per-node substream protocol are
+// byte-for-byte those of BuildSystem, so at equal seeds the two builds
+// decide identical identifiers, keys, certificates, and routing tables
+// — the cross-check test in compact_test.go holds them together. Like
+// BuildSystem, the result is identical for every Workers value.
+func BuildCompactSystem(cfg SystemConfig, rng stats.Rand) (*CompactSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	graph, err := topology.Generate(cfg.Topology, rng)
+	if err != nil {
+		return nil, err
+	}
+	hosts := graph.EndHosts()
+	nOverlay := int(cfg.OverlayFraction * float64(len(hosts)))
+	if nOverlay < 4 {
+		return nil, fmt.Errorf("core: only %d overlay nodes from %d hosts; increase scale", nOverlay, len(hosts))
+	}
+	perm := make([]int, len(hosts))
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	ca := sigcrypto.NewAuthority(sigcrypto.KeyPairFromRand(rng), rng)
+	buildSeed := parexec.SeedFrom(rng)
+
+	// Phase 1: keygen and issuance into flat slabs, fanned out. Slot p
+	// writes only its own slab rows, so workers never contend.
+	n := nOverlay
+	ids := make([]id.ID, n)
+	cs := &CompactSystem{
+		Config:       cfg,
+		Topo:         graph,
+		CA:           ca,
+		routers:      make([]topology.RouterID, n),
+		pubKeys:      make([]byte, n*ed25519.PublicKeySize),
+		privKeys:     make([]byte, n*ed25519.PrivateKeySize),
+		certSigs:     make([]byte, n*ed25519.SignatureSize),
+		behaviorBits: make([]byte, n),
+		rng:          rng,
+	}
+	err = parexec.ForEachWorker(cfg.Workers, n, "compact-keygen", func(_, p int) error {
+		stream := buildSeed.Stream(2 * uint64(p))
+		keys := sigcrypto.KeyPairFromRand(stream)
+		router := hosts[perm[p]]
+		cert, err := ca.IssueFor(hostAddr(router), id.Random(stream), keys.Public)
+		if err != nil {
+			return err
+		}
+		ids[p] = cert.NodeID
+		cs.routers[p] = router
+		copy(cs.pubKeys[p*ed25519.PublicKeySize:], keys.Public)
+		copy(cs.privKeys[p*ed25519.PrivateKeySize:], keys.Private)
+		copy(cs.certSigs[p*ed25519.SignatureSize:], cert.Signature)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial claim in build order. Collision redraws (~2^-128 per pair)
+	// come from the colliding node's own substream, re-derived and
+	// advanced past the six keygen/identifier draws phase 1 consumed —
+	// the same stream position the legacy build redraws from.
+	const phase1Draws = ed25519.SeedSize/8 + id.Bytes/8
+	for p := 0; p < n; p++ {
+		var stream stats.Rand
+		for ca.Claim(ids[p]) != nil {
+			if stream == nil {
+				s := buildSeed.Stream(2 * uint64(p))
+				for skip := 0; skip < phase1Draws; skip++ {
+					s.Uint64()
+				}
+				stream = s
+			}
+			pub := ed25519.PublicKey(cs.pubKeys[p*ed25519.PublicKeySize : (p+1)*ed25519.PublicKeySize])
+			cert, err := ca.IssueFor(hostAddr(cs.routers[p]), id.Random(stream), pub)
+			if err != nil {
+				return nil, err
+			}
+			ids[p] = cert.NodeID
+			copy(cs.certSigs[p*ed25519.SignatureSize:], cert.Signature)
+		}
+	}
+
+	cs.Overlay, err = overlay.NewCompact(ids, overlay.DefaultLeafSetPerSide)
+	if err != nil {
+		return nil, err
+	}
+	cs.slabOf = make([]uint32, n)
+	permRing := make([]uint32, n)
+	for p, x := range ids {
+		i, ok := cs.Overlay.IndexOf(x)
+		if !ok {
+			return nil, fmt.Errorf("core: built identifier %s missing from ring", x.Short())
+		}
+		cs.slabOf[i] = uint32(p)
+		permRing[p] = i
+	}
+
+	// Malicious marks follow build order, as in BuildSystem.
+	nBad := int(cfg.MaliciousFraction * float64(n))
+	for p := 0; p < nBad; p++ {
+		cs.behaviorBits[p] = 3 // drops + inverts
+	}
+
+	// Phase 2: routing fills, fanned out. Node p's standard-table draws
+	// come from Stream(2p+1), consumed in the legacy fill order (secure
+	// first — no draws — then standard); each node writes only its own
+	// table rows.
+	err = parexec.ForEachWorker(cfg.Workers, n, "compact-routing", func(_, p int) error {
+		cs.Overlay.FillNode(permRing[p], buildSeed.Stream(2*uint64(p)+1))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Size returns the current overlay population.
+func (cs *CompactSystem) Size() int { return cs.Overlay.Size() }
+
+// NodeID returns the identifier at ring position i.
+func (cs *CompactSystem) NodeID(i uint32) id.ID { return cs.Overlay.ID(i) }
+
+// Router returns node i's attachment router.
+func (cs *CompactSystem) Router(i uint32) topology.RouterID {
+	return cs.routers[cs.slabOf[i]]
+}
+
+// Keys returns node i's key pair as views into the shared slabs; the
+// returned slices must not be modified.
+func (cs *CompactSystem) Keys(i uint32) sigcrypto.KeyPair {
+	p := int(cs.slabOf[i])
+	return sigcrypto.KeyPair{
+		Public:  ed25519.PublicKey(cs.pubKeys[p*ed25519.PublicKeySize : (p+1)*ed25519.PublicKeySize]),
+		Private: ed25519.PrivateKey(cs.privKeys[p*ed25519.PrivateKeySize : (p+1)*ed25519.PrivateKeySize]),
+	}
+}
+
+// Cert reassembles node i's CA certificate from the slabs. The address
+// is derived from the attachment router, exactly as issuance formatted
+// it, so only the signature needs storage.
+func (cs *CompactSystem) Cert(i uint32) sigcrypto.Certificate {
+	p := int(cs.slabOf[i])
+	return sigcrypto.Certificate{
+		Addr:      hostAddr(cs.routers[p]),
+		NodeID:    cs.Overlay.ID(i),
+		PublicKey: ed25519.PublicKey(cs.pubKeys[p*ed25519.PublicKeySize : (p+1)*ed25519.PublicKeySize]),
+		Signature: cs.certSigs[p*ed25519.SignatureSize : (p+1)*ed25519.SignatureSize],
+	}
+}
+
+// Behavior returns node i's (mis)behavior marks.
+func (cs *CompactSystem) Behavior(i uint32) Behavior {
+	bits := cs.behaviorBits[cs.slabOf[i]]
+	return Behavior{DropsMessages: bits&1 != 0, InvertsProbes: bits&2 != 0}
+}
+
+// TreeOf materializes node i's tomography tree: one BFS from its
+// attachment router plus path extraction per routing peer. Trees are
+// derived data — the build stores none, which is what removes the
+// O(N·routers) phase from the scale frontier; callers that sweep many
+// nodes should reuse scratch across calls.
+func (cs *CompactSystem) TreeOf(i uint32, scratch *topology.BFSScratch) (*tomography.Tree, error) {
+	if scratch == nil {
+		scratch = new(topology.BFSScratch)
+	}
+	peers := cs.Overlay.AppendRoutingPeers(i, nil)
+	leaves := make([]tomography.Leaf, 0, len(peers))
+	for _, j := range peers {
+		leaves = append(leaves, tomography.Leaf{Node: cs.Overlay.ID(j), Router: cs.Router(j)})
+	}
+	bfs, err := cs.Topo.BFSInto(scratch, cs.Router(i))
+	if err != nil {
+		return nil, err
+	}
+	return tomography.BuildTreeBFS(bfs, cs.NodeID(i), cs.Router(i), leaves)
+}
+
+// FailNode removes a node: the overlay repairs every survivor in ring
+// order through the index-based maintenance ops, and the node's ring
+// position is spliced out. Its slab row is retained (see slabOf).
+func (cs *CompactSystem) FailNode(failed id.ID) error {
+	if _, ok := cs.Overlay.IndexOf(failed); !ok {
+		return fmt.Errorf("core: unknown node %s", failed.Short())
+	}
+	if cs.Size() <= 4 {
+		return fmt.Errorf("core: refusing to shrink overlay below 4 nodes")
+	}
+	k, _ := cs.Overlay.IndexOf(failed)
+	if err := cs.Overlay.ApplyDeparture(failed, cs.rng); err != nil {
+		return err
+	}
+	cs.slabOf = append(cs.slabOf[:k], cs.slabOf[k+1:]...)
+	return nil
+}
+
+// JoinNode admits a new CA-certified node at the given router: fresh
+// keys and identifier from the shared rng (as in the legacy join),
+// slab rows appended, every existing node patched in ring order, and
+// the newcomer's tables filled from scratch.
+func (cs *CompactSystem) JoinNode(router topology.RouterID) (id.ID, error) {
+	keys := sigcrypto.KeyPairFromRand(cs.rng)
+	cert, err := cs.CA.Issue(hostAddr(router), keys.Public)
+	if err != nil {
+		return id.ID{}, err
+	}
+	k, err := cs.Overlay.ApplyJoin(cert.NodeID, cs.rng)
+	if err != nil {
+		return id.ID{}, err
+	}
+	slab := uint32(len(cs.routers))
+	cs.routers = append(cs.routers, router)
+	cs.pubKeys = append(cs.pubKeys, keys.Public...)
+	cs.privKeys = append(cs.privKeys, keys.Private...)
+	cs.certSigs = append(cs.certSigs, cert.Signature...)
+	cs.behaviorBits = append(cs.behaviorBits, 0)
+	cs.slabOf = append(cs.slabOf, 0)
+	copy(cs.slabOf[k+1:], cs.slabOf[k:])
+	cs.slabOf[k] = slab
+	return cert.NodeID, nil
+}
+
+// Footprint returns the resident bytes of the compact core: overlay
+// state plus identity slabs. Topology and CA registry are shared with
+// any coexisting legacy system and excluded.
+func (cs *CompactSystem) Footprint() int64 {
+	total := cs.Overlay.Footprint()
+	total += int64(len(cs.routers)) * 4
+	total += int64(len(cs.slabOf)) * 4
+	total += int64(len(cs.behaviorBits))
+	total += int64(len(cs.pubKeys) + len(cs.privKeys) + len(cs.certSigs))
+	return total
+}

@@ -6,9 +6,16 @@
 // The package provides the prefix arithmetic used by jump tables, the
 // ring arithmetic used by leaf sets, and the "target point" construction
 // used by secure routing-table constraints.
+//
+// Internally every hot operation runs on the word-pair view of an
+// identifier — two big-endian uint64 halves — so prefix length is one
+// XOR plus a leading-zero count and comparisons are two integer
+// compares, instead of byte loops. The [16]byte representation remains
+// the storage and wire format.
 package id
 
 import (
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"math/bits"
@@ -36,6 +43,27 @@ var Zero ID
 var Max = ID{
 	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
 	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// Pair is the word-pair view of an identifier: Hi holds digits 0–15 and
+// Lo digits 16–31, both big-endian. All ring and prefix arithmetic runs
+// on this form.
+type Pair struct{ Hi, Lo uint64 }
+
+// Pair decomposes the identifier into its two big-endian words.
+func (a ID) Pair() Pair {
+	return Pair{
+		Hi: binary.BigEndian.Uint64(a[0:8]),
+		Lo: binary.BigEndian.Uint64(a[8:16]),
+	}
+}
+
+// ID recomposes the word pair into the byte representation.
+func (p Pair) ID() ID {
+	var a ID
+	binary.BigEndian.PutUint64(a[0:8], p.Hi)
+	binary.BigEndian.PutUint64(a[8:16], p.Lo)
+	return a
 }
 
 // FromBytes builds an ID from a 16-byte slice.
@@ -83,11 +111,14 @@ func (a ID) Digit(i int) byte {
 	if i < 0 || i >= Digits {
 		panic(fmt.Sprintf("id: digit index %d out of range", i))
 	}
-	b := a[i/2]
-	if i%2 == 0 {
-		return b >> 4
+	var w uint64
+	if i < Digits/2 {
+		w = binary.BigEndian.Uint64(a[0:8])
+	} else {
+		w = binary.BigEndian.Uint64(a[8:16])
+		i -= Digits / 2
 	}
-	return b & 0x0f
+	return byte(w>>(60-BitsPerDigit*i)) & 0x0f
 }
 
 // WithDigit returns a copy of the identifier with digit i replaced by d.
@@ -101,26 +132,27 @@ func (a ID) WithDigit(i int, d byte) ID {
 		panic(fmt.Sprintf("id: digit value %d out of range", d))
 	}
 	out := a
-	if i%2 == 0 {
-		out[i/2] = (out[i/2] & 0x0f) | (d << 4)
-	} else {
-		out[i/2] = (out[i/2] & 0xf0) | d
+	half := out[0:8]
+	if i >= Digits/2 {
+		half = out[8:16]
+		i -= Digits / 2
 	}
+	shift := uint(60 - BitsPerDigit*i)
+	w := binary.BigEndian.Uint64(half)
+	w = w&^(uint64(0x0f)<<shift) | uint64(d)<<shift
+	binary.BigEndian.PutUint64(half, w)
 	return out
 }
 
 // CommonPrefixLen returns the number of leading base-16 digits shared by
 // a and b. Identical identifiers share all Digits digits.
 func CommonPrefixLen(a, b ID) int {
-	for i := 0; i < Bytes; i++ {
-		x := a[i] ^ b[i]
-		if x == 0 {
-			continue
-		}
-		if x&0xf0 != 0 {
-			return 2 * i
-		}
-		return 2*i + 1
+	pa, pb := a.Pair(), b.Pair()
+	if x := pa.Hi ^ pb.Hi; x != 0 {
+		return bits.LeadingZeros64(x) / BitsPerDigit
+	}
+	if x := pa.Lo ^ pb.Lo; x != 0 {
+		return Digits/2 + bits.LeadingZeros64(x)/BitsPerDigit
 	}
 	return Digits
 }
@@ -128,59 +160,76 @@ func CommonPrefixLen(a, b ID) int {
 // Cmp compares a and b as 128-bit big-endian unsigned integers, returning
 // -1, 0, or +1.
 func Cmp(a, b ID) int {
-	for i := 0; i < Bytes; i++ {
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
+	pa, pb := a.Pair(), b.Pair()
+	switch {
+	case pa.Hi < pb.Hi:
+		return -1
+	case pa.Hi > pb.Hi:
+		return 1
+	case pa.Lo < pb.Lo:
+		return -1
+	case pa.Lo > pb.Lo:
+		return 1
 	}
 	return 0
 }
 
 // Less reports whether a < b numerically.
-func Less(a, b ID) bool { return Cmp(a, b) < 0 }
-
-// uint128 is a helper for ring arithmetic.
-type uint128 struct{ hi, lo uint64 }
-
-func toU128(a ID) uint128 {
-	var u uint128
-	for i := 0; i < 8; i++ {
-		u.hi = u.hi<<8 | uint64(a[i])
-		u.lo = u.lo<<8 | uint64(a[i+8])
+func Less(a, b ID) bool {
+	pa, pb := a.Pair(), b.Pair()
+	if pa.Hi != pb.Hi {
+		return pa.Hi < pb.Hi
 	}
-	return u
+	return pa.Lo < pb.Lo
 }
 
-func fromU128(u uint128) ID {
-	var a ID
-	for i := 7; i >= 0; i-- {
-		a[i] = byte(u.hi)
-		a[i+8] = byte(u.lo)
-		u.hi >>= 8
-		u.lo >>= 8
+// Less reports whether p < q numerically — the word-pair form of Less,
+// for callers that keep identifiers decomposed.
+func (p Pair) Less(q Pair) bool {
+	if p.Hi != q.Hi {
+		return p.Hi < q.Hi
 	}
-	return a
+	return p.Lo < q.Lo
 }
 
-func subU128(a, b uint128) uint128 {
-	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
-	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
-	return uint128{hi: hi, lo: lo}
-}
-
-func cmpU128(a, b uint128) int {
+// PrefixRange returns the numeric bounds [lo, hi] of identifiers
+// sharing p's first prefixLen digits: p with every trailing digit
+// cleared and with every trailing digit saturated, as two word masks.
+// This replaces the digit-by-digit WithDigit loop on the table-fill hot
+// path — one shift per word instead of up to 32 masked stores.
+func (p Pair) PrefixRange(prefixLen int) (lo, hi Pair) {
+	b := prefixLen * BitsPerDigit
 	switch {
-	case a.hi != b.hi:
-		if a.hi < b.hi {
+	case b <= 0:
+		return Pair{}, Pair{Hi: ^uint64(0), Lo: ^uint64(0)}
+	case b < 64:
+		m := ^uint64(0) >> b
+		return Pair{Hi: p.Hi &^ m}, Pair{Hi: p.Hi | m, Lo: ^uint64(0)}
+	case b == 64:
+		return Pair{Hi: p.Hi}, Pair{Hi: p.Hi, Lo: ^uint64(0)}
+	case b < 2*64:
+		m := ^uint64(0) >> (b - 64)
+		return Pair{Hi: p.Hi, Lo: p.Lo &^ m}, Pair{Hi: p.Hi, Lo: p.Lo | m}
+	}
+	return p, p
+}
+
+func subPair(a, b Pair) Pair {
+	lo, borrow := bits.Sub64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Sub64(a.Hi, b.Hi, borrow)
+	return Pair{Hi: hi, Lo: lo}
+}
+
+func cmpPair(a, b Pair) int {
+	switch {
+	case a.Hi != b.Hi:
+		if a.Hi < b.Hi {
 			return -1
 		}
 		return 1
-	case a.lo < b.lo:
+	case a.Lo < b.Lo:
 		return -1
-	case a.lo > b.lo:
+	case a.Lo > b.Lo:
 		return 1
 	}
 	return 0
@@ -189,18 +238,19 @@ func cmpU128(a, b uint128) int {
 // Clockwise returns the clockwise (increasing, wrapping) distance from a
 // to b on the identifier ring.
 func Clockwise(a, b ID) ID {
-	return fromU128(subU128(toU128(b), toU128(a)))
+	return subPair(b.Pair(), a.Pair()).ID()
 }
 
 // Distance returns the minimal ring distance between a and b: the smaller
 // of the clockwise and counterclockwise distances.
 func Distance(a, b ID) ID {
-	cw := subU128(toU128(b), toU128(a))
-	ccw := subU128(toU128(a), toU128(b))
-	if cmpU128(cw, ccw) <= 0 {
-		return fromU128(cw)
+	pa, pb := a.Pair(), b.Pair()
+	cw := subPair(pb, pa)
+	ccw := subPair(pa, pb)
+	if cmpPair(cw, ccw) <= 0 {
+		return cw.ID()
 	}
-	return fromU128(ccw)
+	return ccw.ID()
 }
 
 // Closer reports whether a is strictly closer to target than b is, by
@@ -208,15 +258,24 @@ func Distance(a, b ID) ID {
 // smaller identifier so that "closest node" is a total order; secure
 // Pastry needs a deterministic answer for its constrained-table checks.
 func Closer(a, b, target ID) bool {
-	da, db := Distance(a, target), Distance(b, target)
-	switch Cmp(da, db) {
+	pa, pb, pt := a.Pair(), b.Pair(), target.Pair()
+	da := minPair(subPair(pt, pa), subPair(pa, pt))
+	db := minPair(subPair(pt, pb), subPair(pb, pt))
+	switch cmpPair(da, db) {
 	case -1:
 		return true
 	case 1:
 		return false
 	default:
-		return Less(a, b)
+		return cmpPair(pa, pb) < 0
 	}
+}
+
+func minPair(a, b Pair) Pair {
+	if cmpPair(a, b) <= 0 {
+		return a
+	}
+	return b
 }
 
 // Between reports whether x lies on the clockwise arc (lo, hi], treating
@@ -225,20 +284,21 @@ func Between(x, lo, hi ID) bool {
 	if lo == hi {
 		return true
 	}
-	cwLoHi := toU128(Clockwise(lo, hi))
-	cwLoX := toU128(Clockwise(lo, x))
 	if x == lo {
 		return false
 	}
-	return cmpU128(cwLoX, cwLoHi) <= 0
+	pl := lo.Pair()
+	cwLoHi := subPair(hi.Pair(), pl)
+	cwLoX := subPair(x.Pair(), pl)
+	return cmpPair(cwLoX, cwLoHi) <= 0
 }
 
 // Add returns a + delta on the ring (mod 2^128).
 func Add(a, delta ID) ID {
-	ua, ud := toU128(a), toU128(delta)
-	lo, carry := bits.Add64(ua.lo, ud.lo, 0)
-	hi, _ := bits.Add64(ua.hi, ud.hi, carry)
-	return fromU128(uint128{hi: hi, lo: lo})
+	pa, pd := a.Pair(), delta.Pair()
+	lo, carry := bits.Add64(pa.Lo, pd.Lo, 0)
+	hi, _ := bits.Add64(pa.Hi, pd.Hi, carry)
+	return Pair{Hi: hi, Lo: lo}.ID()
 }
 
 // Spacing returns the clockwise gap from a to b as a float64. The value
@@ -246,8 +306,8 @@ func Add(a, delta ID) ID {
 // for the density estimators in §2 and §3.1, where relative magnitudes
 // are all that matter.
 func Spacing(a, b ID) float64 {
-	u := toU128(Clockwise(a, b))
-	return float64(u.hi)*0x1p64 + float64(u.lo)
+	u := subPair(b.Pair(), a.Pair())
+	return float64(u.Hi)*0x1p64 + float64(u.Lo)
 }
 
 // RingSize is the total number of points on the ring, as a float64.
@@ -263,5 +323,5 @@ type RandSource interface {
 // central authority assigns identifiers "randomly" (§2); experiments use
 // seeded sources for reproducibility while the live CA uses crypto/rand.
 func Random(src RandSource) ID {
-	return fromU128(uint128{hi: src.Uint64(), lo: src.Uint64()})
+	return Pair{Hi: src.Uint64(), Lo: src.Uint64()}.ID()
 }

@@ -300,20 +300,4 @@ func TestPropAddClockwise(t *testing.T) {
 	}
 }
 
-func BenchmarkCommonPrefixLen(b *testing.B) {
-	x := MustParse("0123456789abcdef0123456789abcdef")
-	y := MustParse("0123456789abcdef0123456789abcdee")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = CommonPrefixLen(x, y)
-	}
-}
-
-func BenchmarkDistance(b *testing.B) {
-	x := MustParse("0123456789abcdef0123456789abcdef")
-	y := MustParse("fedcba9876543210fedcba9876543210")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = Distance(x, y)
-	}
-}
+// Micro-benchmarks for the word-pair primitives live in bench_test.go.

@@ -20,8 +20,11 @@ import (
 // assignments; a malicious host's *advertised* state can then be compared
 // against what the ring says it should be.
 type Ring struct {
-	ids   []id.ID
-	index map[id.ID]int
+	ids []id.ID
+	// pairs shadows ids in decomposed word-pair form. Binary searches
+	// compare pairs instead of re-decomposing both operands per probe,
+	// which is where table construction spends its time at large N.
+	pairs []id.Pair
 }
 
 // NewRing builds a ring over the given members. Duplicates are rejected.
@@ -32,14 +35,20 @@ func NewRing(members []id.ID) (*Ring, error) {
 	ids := make([]id.ID, len(members))
 	copy(ids, members)
 	sort.Slice(ids, func(i, j int) bool { return id.Less(ids[i], ids[j]) })
-	index := make(map[id.ID]int, len(ids))
-	for i, x := range ids {
-		if _, dup := index[x]; dup {
-			return nil, fmt.Errorf("overlay: duplicate member %s", x)
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			return nil, fmt.Errorf("overlay: duplicate member %s", ids[i])
 		}
-		index[x] = i
 	}
-	return &Ring{ids: ids, index: index}, nil
+	return &Ring{ids: ids, pairs: makePairs(ids)}, nil
+}
+
+func makePairs(ids []id.ID) []id.Pair {
+	pairs := make([]id.Pair, len(ids))
+	for i, x := range ids {
+		pairs[i] = x.Pair()
+	}
+	return pairs
 }
 
 // Size returns the number of members.
@@ -51,8 +60,19 @@ func (r *Ring) Members() []id.ID { return r.ids }
 
 // Contains reports membership.
 func (r *Ring) Contains(x id.ID) bool {
-	_, ok := r.index[x]
+	_, ok := r.IndexOf(x)
 	return ok
+}
+
+// IndexOf returns x's position in the sorted member slice, by binary
+// search over ids — the ring keeps no side map, so membership costs
+// O(log N) and zero bytes.
+func (r *Ring) IndexOf(x id.ID) (int, bool) {
+	at := r.searchGE(x)
+	if at < len(r.ids) && r.ids[at] == x {
+		return at, true
+	}
+	return 0, false
 }
 
 // Without returns a new ring excluding the given members — the view an
@@ -70,9 +90,23 @@ func (r *Ring) Without(excluded map[id.ID]bool) (*Ring, error) {
 
 // searchGE returns the index of the first member >= x, possibly len(ids).
 func (r *Ring) searchGE(x id.ID) int {
-	return sort.Search(len(r.ids), func(i int) bool {
-		return id.Cmp(r.ids[i], x) >= 0
-	})
+	return r.searchGEPair(x.Pair())
+}
+
+// searchGEPair is searchGE over the decomposed member view, with the
+// binary search inlined: sort.Search's closure indirection and id.Cmp's
+// per-probe byte decomposition both show up at million-member scale.
+func (r *Ring) searchGEPair(xp id.Pair) int {
+	lo, hi := 0, len(r.pairs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if r.pairs[m].Less(xp) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
 }
 
 // Closest returns the member with minimal ring distance to target,
@@ -108,12 +142,8 @@ func (r *Ring) Closest(target id.ID, skip map[id.ID]bool) (id.ID, bool) {
 // prefixRange returns the numeric bounds [lo, hi] of identifiers sharing
 // the first prefixLen digits of base.
 func prefixRange(base id.ID, prefixLen int) (lo, hi id.ID) {
-	lo, hi = base, base
-	for i := prefixLen; i < id.Digits; i++ {
-		lo = lo.WithDigit(i, 0)
-		hi = hi.WithDigit(i, id.Base-1)
-	}
-	return lo, hi
+	lp, hp := base.Pair().PrefixRange(prefixLen)
+	return lp.ID(), hp.ID()
 }
 
 // ClosestWithPrefix returns the member closest to target among those
@@ -151,10 +181,10 @@ func (r *Ring) arcBounds(target id.ID, prefixLen int) (start, end int, ok bool) 
 	if prefixLen > id.Digits {
 		prefixLen = id.Digits
 	}
-	lo, hi := prefixRange(target, prefixLen)
-	start = r.searchGE(lo)
-	end = r.searchGE(hi)
-	if end == len(r.ids) || r.ids[end] != hi {
+	lo, hi := target.Pair().PrefixRange(prefixLen)
+	start = r.searchGEPair(lo)
+	end = r.searchGEPair(hi)
+	if end == len(r.pairs) || r.pairs[end] != hi {
 		end--
 	}
 	if start > end {
@@ -192,6 +222,91 @@ func (r *Ring) ClosestWithPrefixExcl(target id.ID, prefixLen int, excl id.ID) (i
 		}
 	}
 	return best, found
+}
+
+// closestWithPrefixExclIdx is ClosestWithPrefixExcl with the excluded
+// member named by index and the winner returned by index — the form the
+// compact core uses, where peers are uint32 ring positions rather than
+// identifiers. Candidate order and tie-breaking match the ID variant
+// exactly, so both return the same winner.
+func (r *Ring) closestWithPrefixExclIdx(target id.ID, prefixLen, excl int) (int, bool) {
+	if prefixLen <= 0 {
+		return r.closestExclIdx(target, excl)
+	}
+	start, end, ok := r.arcBounds(target, prefixLen)
+	if !ok {
+		return 0, false
+	}
+	pos := r.searchGE(target)
+	best, found := 0, false
+	for _, i := range [4]int{pos, pos + 1, pos - 1, pos - 2} {
+		if i < start || i > end || i == excl {
+			continue
+		}
+		if !found || id.Closer(r.ids[i], r.ids[best], target) {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// closestExclIdx is closestExcl by index.
+func (r *Ring) closestExclIdx(target id.ID, excl int) (int, bool) {
+	n := len(r.ids)
+	pos := r.searchGE(target)
+	best, found := 0, false
+	for _, off := range [4]int{0, 1, -1, -2} {
+		i := ((pos+off)%n + n) % n
+		if i == excl {
+			continue
+		}
+		if !found || id.Closer(r.ids[i], r.ids[best], target) {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// hasOtherWithPrefixIdx is HasOtherWithPrefix with the exclusion by index.
+func (r *Ring) hasOtherWithPrefixIdx(target id.ID, prefixLen, excl int) bool {
+	if prefixLen <= 0 {
+		return len(r.ids) > 1 || excl != 0
+	}
+	start, end, ok := r.arcBounds(target, prefixLen)
+	if !ok {
+		return false
+	}
+	return end > start || start != excl
+}
+
+// uniformWithPrefixExclIdx is UniformWithPrefixExcl by index. It consumes
+// exactly the same rng draws as the ID variant: one IntN over the arc
+// span when a candidate exists, none otherwise.
+func (r *Ring) uniformWithPrefixExclIdx(target id.ID, prefixLen, excl int, rng interface{ IntN(int) int }) (int, bool) {
+	start, end := 0, len(r.ids)-1
+	if prefixLen > 0 {
+		var ok bool
+		start, end, ok = r.arcBounds(target, prefixLen)
+		if !ok {
+			return 0, false
+		}
+	}
+	exclAt := -1
+	if excl >= start && excl <= end {
+		exclAt = excl
+	}
+	count := end - start + 1
+	if exclAt >= 0 {
+		count--
+	}
+	if count <= 0 {
+		return 0, false
+	}
+	j := start + rng.IntN(count)
+	if exclAt >= 0 && j >= exclAt {
+		j++
+	}
+	return j, true
 }
 
 // closestExcl is Closest with a single excluded member: the circularly
@@ -243,7 +358,7 @@ func (r *Ring) UniformWithPrefixExcl(target id.ID, prefixLen int, excl id.ID, rn
 		}
 	}
 	exclAt := -1
-	if at, ok := r.index[excl]; ok && at >= start && at <= end {
+	if at, ok := r.IndexOf(excl); ok && at >= start && at <= end {
 		exclAt = at
 	}
 	count := end - start + 1
@@ -280,7 +395,7 @@ func (r *Ring) neighbors(x id.ID, k, dir int) []id.ID {
 		return nil
 	}
 	var pos int
-	if at, ok := r.index[x]; ok {
+	if at, ok := r.IndexOf(x); ok {
 		pos = at
 	} else {
 		// x is not a member: start from the insertion point.

@@ -1,0 +1,69 @@
+package overlay
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"concilium/internal/id"
+)
+
+// TestIndexOfMatchesMap checks the binary-search membership lookup
+// against a straightforward map built over the same members — the
+// representation the ring used before the index map was dropped.
+func TestIndexOfMatchesMap(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(11, 3))
+	members := make([]id.ID, 300)
+	for i := range members {
+		members[i] = id.Random(rng)
+	}
+	ring, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := make(map[id.ID]int, ring.Size())
+	for i, x := range ring.Members() {
+		index[x] = i
+	}
+	for x, want := range index {
+		got, ok := ring.IndexOf(x)
+		if !ok || got != want {
+			t.Fatalf("IndexOf(%s) = %d,%v; map says %d", x, got, ok, want)
+		}
+		if !ring.Contains(x) {
+			t.Fatalf("Contains(%s) = false for member", x)
+		}
+	}
+	// Probe non-members: random points plus near-misses adjacent to
+	// real members (the binary search's off-by-one hot spots).
+	for i := 0; i < 1000; i++ {
+		probe := id.Random(rng)
+		if i%3 == 0 {
+			base := ring.Members()[rng.IntN(ring.Size())]
+			probe = base.WithDigit(id.Digits-1, byte(rng.IntN(id.Base)))
+		}
+		_, inMap := index[probe]
+		at, ok := ring.IndexOf(probe)
+		if ok != inMap {
+			t.Fatalf("IndexOf(%s) membership = %v, map says %v", probe, ok, inMap)
+		}
+		if ok && ring.Members()[at] != probe {
+			t.Fatalf("IndexOf(%s) returned wrong slot %d", probe, at)
+		}
+		if ring.Contains(probe) != inMap {
+			t.Fatalf("Contains(%s) disagrees with map", probe)
+		}
+	}
+}
+
+func TestNewRingRejectsDuplicates(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(5, 9))
+	a, b := id.Random(rng), id.Random(rng)
+	if _, err := NewRing([]id.ID{a, b, a}); err == nil {
+		t.Fatal("NewRing accepted a duplicate member")
+	}
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("NewRing accepted an empty member list")
+	}
+}
