@@ -4,16 +4,18 @@
 // Usage:
 //
 //	concilium-bench [-fig N] [-scale small|default|treelike|paper] [-seed N] [-format text|csv] [-workers N]
-//	                [-scale-n N,N,...] [-json report.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                [-scale-n N,N,...] [-traffic-n N,N,...] [-json report.json]
+//	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Figures: 1 (occupancy model), 2 (density errors), 3 (density errors
 // under suppression), 4 (forest coverage), 5 (blame PDFs + §4.3 rates),
 // 6 (accusation error vs m), 7 (§4.4 bandwidth), plus extensions:
 // 8 (collusion-fraction sweep), 9 (median-consensus suppression
-// defense), 10 (BuildSystem scale at the -scale-n overlay sizes), and
-// 12 (adversarial conviction ROC grid; see internal/adversary).
-// -fig 0 runs the paper's seven in text mode, plus figures 10 and 12
-// in benchmark mode.
+// defense), 10 (BuildSystem scale at the -scale-n overlay sizes),
+// 12 (adversarial conviction ROC grid; see internal/adversary), and
+// 13 (compact-plane diagnosis traffic at the -traffic-n overlay sizes).
+// -fig 0 runs the paper's seven in text mode, plus figures 10, 12, and
+// 13 in benchmark mode.
 //
 // -json switches to benchmark mode: every selected figure runs against
 // a per-figure derived seed (independent of the shared-stream text
@@ -57,6 +59,7 @@ func run(w io.Writer, args []string) error {
 	format := fs.String("format", "text", "output format: text or csv")
 	workers := fs.Int("workers", 0, "worker pool size for parallel trials (0 = GOMAXPROCS); results are identical for any value")
 	scaleN := fs.String("scale-n", "1000,5000,20000", "comma-separated overlay sizes for the Scale figure (-fig 10)")
+	trafficN := fs.String("traffic-n", "1000,20000", "comma-separated overlay sizes for the Traffic figure (-fig 13)")
 	jsonPath := fs.String("json", "", "write a machine-readable bench report to this path (benchmark mode)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write an allocs-space heap profile to this path")
@@ -67,11 +70,15 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	trafficNs, err := parseScaleNs(*trafficN)
+	if err != nil {
+		return fmt.Errorf("-traffic-n: %w", err)
+	}
 	stopCPU, err := profiling.StartCPU(*cpuProfile)
 	if err != nil {
 		return err
 	}
-	err = runMode(w, *jsonPath, *fig, *scale, *seed, *format, *workers, scaleNs)
+	err = runMode(w, *jsonPath, *fig, *scale, *seed, *format, *workers, scaleNs, trafficNs)
 	if cerr := stopCPU(); err == nil {
 		err = cerr
 	}
@@ -81,7 +88,7 @@ func run(w io.Writer, args []string) error {
 	return err
 }
 
-func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, format string, workers int, scaleNs []int) error {
+func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, format string, workers int, scaleNs, trafficNs []int) error {
 	var render renderer
 	switch format {
 	case "text":
@@ -112,12 +119,12 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 	if fig == 0 {
 		figs = []int{1, 2, 3, 4, 5, 6, 7}
 		if jsonPath != "" {
-			figs = append(figs, scaleFig, adversaryFig)
+			figs = append(figs, scaleFig, adversaryFig, trafficFig)
 		}
 	}
 
 	if jsonPath != "" {
-		return runBenchmark(w, jsonPath, figs, topoCfg, overlayFrac, scale, seed, workers, scaleNs, render)
+		return runBenchmark(w, jsonPath, figs, topoCfg, overlayFrac, scale, seed, workers, scaleNs, trafficNs, render)
 	}
 
 	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
@@ -131,6 +138,15 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 				return fmt.Errorf("figure %d: %w", f, err)
 			}
 			if err := render.table(w, scaleTable(scaleFigs)); err != nil {
+				return fmt.Errorf("figure %d: %w", f, err)
+			}
+		} else if f == trafficFig {
+			// Same substream family as benchmark mode, for the same reason.
+			trafficFigs, err := runTraffic(io.Discard, trafficNs, parexec.NewSeed(seed, seed^0xbe9c5c95c4b4f12d), workers)
+			if err != nil {
+				return fmt.Errorf("figure %d: %w", f, err)
+			}
+			if err := render.table(w, trafficTable(trafficFigs)); err != nil {
 				return fmt.Errorf("figure %d: %w", f, err)
 			}
 		} else if f == adversaryFig {
@@ -153,7 +169,7 @@ func runMode(w io.Writer, jsonPath string, fig int, scale string, seed uint64, f
 // random streams — the tool asserts their deterministic check values
 // match, which is what makes the report's canonical part worker-count
 // invariant by construction.
-func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Config, overlayFrac float64, scale string, seed uint64, workers int, scaleNs []int, render renderer) error {
+func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Config, overlayFrac float64, scale string, seed uint64, workers int, scaleNs, trafficNs []int, render renderer) error {
 	resolved := parexec.Workers(workers)
 	root := parexec.NewSeed(seed, seed^0xbe9c5c95c4b4f12d)
 	report := benchreport.New("concilium-bench", seed, scale)
@@ -173,6 +189,14 @@ func runBenchmark(w io.Writer, jsonPath string, figs []int, topoCfg topology.Con
 				return err
 			}
 			report.Figures = append(report.Figures, scaleFigs...)
+			continue
+		}
+		if f == trafficFig {
+			trafficFigs, err := runTraffic(w, trafficNs, root, workers)
+			if err != nil {
+				return err
+			}
+			report.Figures = append(report.Figures, trafficFigs...)
 			continue
 		}
 		if f == adversaryFig {
@@ -545,7 +569,7 @@ func runFig(w io.Writer, render renderer, fig int, topoCfg topology.Config, over
 		return checks, nil
 
 	default:
-		return nil, fmt.Errorf("unknown figure %d (valid: 1-10, 12)", fig)
+		return nil, fmt.Errorf("unknown figure %d (valid: 1-10, 12, 13)", fig)
 	}
 }
 

@@ -131,13 +131,14 @@ func runSim(w io.Writer, o simOpts) error {
 
 	rng := rand.New(rand.NewPCG(*seed, *seed+1))
 	fmt.Fprintf(w, "building system (scale=%s)...\n", *scale)
-	sys, err := core.BuildSystem(cfg, rng)
+	sys, err := core.BuildCompactSystem(cfg, rng)
 	if err != nil {
 		return err
 	}
+	alive := sys.AliveIDs()
 	fmt.Fprintf(w, "topology: %d routers, %d links; overlay: %d nodes (%d malicious)\n",
-		sys.Topo.NumRouters(), sys.Topo.NumLinks(), len(sys.Order),
-		int(*malicious*float64(len(sys.Order))))
+		sys.Topo.NumRouters(), sys.Topo.NumLinks(), len(alive),
+		int(*malicious*float64(len(alive))))
 
 	if err := sys.StartFailures(); err != nil {
 		return err
@@ -149,16 +150,22 @@ func runSim(w io.Writer, o simOpts) error {
 	fmt.Fprintf(w, "warmed up: %d probe records, %d links down\n", sys.Archive.Size(), sys.Net.DownCount())
 
 	// RON baseline over the same membership: pairwise paths via each
-	// node's tomography tree where available.
-	paths := make(map[id.ID]map[id.ID][]topology.LinkID, len(sys.Order))
-	for _, nid := range sys.Order {
-		row := make(map[id.ID][]topology.LinkID)
-		for _, leaf := range sys.Nodes[nid].Tree.Leaves {
+	// node's tomography tree. Trees are derived data on the compact
+	// plane, so materialize each one here, reusing one BFS scratch.
+	var scratch topology.BFSScratch
+	paths := make(map[id.ID]map[id.ID][]topology.LinkID, sys.Size())
+	for i := uint32(0); i < uint32(sys.Size()); i++ {
+		tree, err := sys.TreeOf(i, &scratch)
+		if err != nil {
+			return err
+		}
+		row := make(map[id.ID][]topology.LinkID, len(tree.Leaves))
+		for _, leaf := range tree.Leaves {
 			row[leaf.Node] = leaf.Path
 		}
-		paths[nid] = row
+		paths[sys.NodeID(i)] = row
 	}
-	ron, err := baseline.New(sys.Net, sys.Order, paths)
+	ron, err := baseline.New(sys.Net, alive, paths)
 	if err != nil {
 		return err
 	}
@@ -171,8 +178,8 @@ func runSim(w io.Writer, o simOpts) error {
 		ronSaysPath, ronSilent, verified int
 	}
 	for i := 0; i < *messages; i++ {
-		src := sys.Order[rng.IntN(len(sys.Order))]
-		dst := sys.Order[rng.IntN(len(sys.Order))]
+		src := alive[rng.IntN(len(alive))]
+		dst := alive[rng.IntN(len(alive))]
 		if src == dst {
 			continue
 		}
@@ -191,7 +198,7 @@ func runSim(w io.Writer, o simOpts) error {
 			stats.nodeDrops++
 			if rep.Culprit == rep.DroppedBy {
 				stats.culpritRight++
-				if rep.Chain != nil && rep.Chain.Verify(sys.Keys(), cfg.Blame.GuiltyThreshold) == nil {
+				if rep.Chain != nil && rep.Chain.Verify(sys.KeyDir(), cfg.Blame.GuiltyThreshold) == nil {
 					stats.verified++
 				}
 			} else {

@@ -54,3 +54,41 @@ func TestSendMessageAllocBudget(t *testing.T) {
 		t.Errorf("SendMessage allocates %.1f/op on a warm system, budget %d", n, sendMessageAllocBudget)
 	}
 }
+
+// TestCompactSendMessageAllocBudget holds the compact traffic plane to
+// the same warm-path ceiling as the legacy one. The delivered path
+// should cost exactly 2 allocations (the report and its copied-out
+// route); the shared budget leaves the same runtime-noise slack.
+func TestCompactSendMessageAllocBudget(t *testing.T) {
+	cfg := SystemConfig{
+		Topology:        topology.TestConfig(),
+		OverlayFraction: 0.5,
+		Blame:           DefaultBlameConfig(),
+		Window:          DefaultWindowConfig(),
+		MaxProbeTime:    2 * time.Minute,
+		Failures:        netsim.DefaultFailureConfig(),
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	cs, err := BuildCompactSystem(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	cs.Run(10 * time.Minute)
+	alive := cs.AliveIDs()
+	src, dst := alive[0], alive[len(alive)/2]
+	// One warmup send grows the scratch arenas to steady-state size.
+	if _, err := cs.SendMessage(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(50, func() {
+		if _, err := cs.SendMessage(src, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > sendMessageAllocBudget {
+		t.Errorf("compact SendMessage allocates %.1f/op on a warm system, budget %d", n, sendMessageAllocBudget)
+	}
+}

@@ -23,6 +23,14 @@ import (
 // departure. Every surviving node's leaf set and jump tables are
 // repaired and its tomography tree rebuilt if the departed node was one
 // of its routing peers.
+//
+// Survivors are repaired in ascending ring order — the single FailNode
+// semantic shared with the compact plane (overlay.Compact.ApplyDeparture
+// visits survivors the same way), so standard-table refill draws land in
+// the same positions of the shared random stream on both
+// representations. Before the traffic-plane port this loop followed
+// build order, which was the one churn-order divergence between the two
+// cores (DESIGN.md §13).
 func (s *System) FailNode(failed id.ID) error {
 	if _, ok := s.Nodes[failed]; !ok {
 		return fmt.Errorf("core: unknown node %s", failed.Short())
@@ -47,7 +55,7 @@ func (s *System) FailNode(failed id.ID) error {
 	}
 	s.Order = kept
 
-	for _, nid := range s.Order {
+	for _, nid := range s.Ring.Members() {
 		node := s.Nodes[nid]
 		hadPeer := false
 		peers := node.Routing.AppendRoutingPeers(s.peerScratch[:0])

@@ -3,14 +3,17 @@ package core
 import (
 	"crypto/ed25519"
 	"fmt"
+	"math"
 
 	"concilium/internal/id"
+	"concilium/internal/netsim"
 	"concilium/internal/overlay"
 	"concilium/internal/parexec"
 	"concilium/internal/sigcrypto"
 	"concilium/internal/stats"
 	"concilium/internal/tomography"
 	"concilium/internal/topology"
+	"concilium/internal/trace"
 )
 
 // CompactSystem is the memory-compact deployment core behind the scale
@@ -21,16 +24,27 @@ import (
 // (32 B public key, 64 B private key, 64 B certificate signature per
 // node) with accessors returning views; tomography trees, being a pure
 // deterministic function of the immutable graph and each node's routing
-// peers, are not stored at all — TreeOf materializes one on demand.
+// peers, are built lazily and cached per slab.
 //
-// The legacy System remains the protocol engine (probing, blame,
-// adversary campaigns); CompactSystem is what lets the build itself
-// reach N=1M in commodity RAM.
+// Since the traffic-plane port (DESIGN.md §13) the compact core also
+// runs the full diagnosis protocol — probing, SendMessage, blame,
+// verdict windows, batched acks — over indices; see compact_traffic.go.
+// The legacy System survives as the small-N equivalence oracle.
 type CompactSystem struct {
 	Config  SystemConfig
 	Topo    *topology.Graph
+	Sim     *netsim.Simulator
+	Net     *netsim.Network
 	CA      *sigcrypto.Authority
 	Overlay *overlay.Compact
+	Archive *tomography.Archive
+	Engine  *BlameEngine
+	Window  *CompactVerdictWindow
+
+	Injector *netsim.FailureInjector
+	// Counters surfaces errors and degradations that would otherwise be
+	// swallowed on hot paths, mirroring the legacy System's ledger.
+	Counters SystemCounters
 
 	// slabOf maps ring position to slab position. Slabs are append-only
 	// and build-ordered: the node built p-th (the legacy Order position)
@@ -38,14 +52,60 @@ type CompactSystem struct {
 	// the slab row — churn at compact scale leaks 165 B per departure,
 	// which is the right trade against compacting four slabs per event.
 	slabOf []uint32
+	// ringOfSlab is the inverse map: slab position to current ring
+	// position, overlay.NoIndex once the node departs. Alive slabs in
+	// ascending slab order are exactly the legacy Order (departures
+	// preserve relative order, joiners append), which is what lets the
+	// traffic plane iterate "in Order" without storing identifiers.
+	ringOfSlab []uint32
 
 	routers      []topology.RouterID // by slab position
 	pubKeys      []byte              // ed25519.PublicKeySize per slab row
 	privKeys     []byte              // ed25519.PrivateKeySize per slab row
 	certSigs     []byte              // ed25519.SignatureSize per slab row
-	behaviorBits []byte              // bit0 DropsMessages, bit1 InvertsProbes
+	behaviorBits []byte              // bit0 DropsMessages, bit1 InvertsProbes, bit2 extended
+	// extBehavior holds the full Behavior policy for slabs whose bit2 is
+	// set — probabilistic/periodic droppers and clique members, the
+	// adversary-campaign knobs that do not pack into two bits. Honest
+	// and plain-dropper nodes never touch the map.
+	extBehavior map[uint32]Behavior
 
-	rng stats.Rand
+	// Per-slab protocol state, all lazily sized by the build and
+	// appended on join. trees caches lazily materialized tomography
+	// trees and is invalidated in full on every churn event (rebuilds
+	// are deterministic, so contents always match a fresh build).
+	msgSeq []uint64
+	fwdSeq []uint64
+	trees  []*tomography.Tree
+	sweeps []func()
+	// departedSlab remembers the slab of every departed identifier so
+	// cold verdict-window queries and equivalence tests can still key by
+	// slab after churn.
+	departedSlab map[id.ID]uint32
+
+	rng       stats.Rand
+	met       systemMetrics
+	probing   bool
+	lastPrune netsim.Time
+
+	// Scratch arenas (DESIGN.md §9 ownership protocol): all protocol
+	// code runs in simulator callbacks on one goroutine; anything built
+	// here that escapes into a report or the archive is copied out
+	// exact-size first.
+	bfsScratch       topology.BFSScratch
+	obsScratch       []tomography.LinkObservation
+	peerScratch      []uint32
+	leafScratch      []tomography.Leaf
+	routeIdxScratch  []uint32
+	routeSlabScratch []uint32
+	pathScratch      [][]topology.LinkID
+	spanScratch      []topology.LinkID
+
+	// Chaos-injection hooks, default-off (the unperturbed system draws
+	// the same random stream as before they existed).
+	probeLoss        float64
+	probesSuppressed bool
+	silentSlabs      map[uint32]bool
 }
 
 // BuildCompactSystem constructs the compact deployment deterministically
@@ -63,6 +123,28 @@ func BuildCompactSystem(cfg SystemConfig, rng stats.Rand) (*CompactSystem, error
 	if err != nil {
 		return nil, err
 	}
+	// The simulator and network draw nothing from rng at construction
+	// (netsim consumes randomness only when sampling packets), so wiring
+	// them here leaves the canonical build stream untouched.
+	sim := netsim.NewSimulator()
+	netOpts := []netsim.NetworkOption{netsim.WithMetrics(cfg.Metrics)}
+	if cfg.HopLatency > 0 {
+		netOpts = append(netOpts, netsim.WithHopLatency(cfg.HopLatency))
+	}
+	if cfg.Tracer != nil {
+		netOpts = append(netOpts, netsim.WithLinkWatcher(func(l topology.LinkID, down bool) {
+			kind := trace.KindLinkRepaired
+			if down {
+				kind = trace.KindLinkFailed
+			}
+			cfg.Tracer.Record(trace.Event{At: sim.Now(), Kind: kind, Link: l})
+		}))
+	}
+	net, err := netsim.NewNetwork(graph, sim, rng, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+
 	hosts := graph.EndHosts()
 	nOverlay := int(cfg.OverlayFraction * float64(len(hosts)))
 	if nOverlay < 4 {
@@ -86,14 +168,23 @@ func BuildCompactSystem(cfg SystemConfig, rng stats.Rand) (*CompactSystem, error
 	cs := &CompactSystem{
 		Config:       cfg,
 		Topo:         graph,
+		Sim:          sim,
+		Net:          net,
 		CA:           ca,
+		Archive:      tomography.NewArchive(),
 		routers:      make([]topology.RouterID, n),
 		pubKeys:      make([]byte, n*ed25519.PublicKeySize),
 		privKeys:     make([]byte, n*ed25519.PrivateKeySize),
 		certSigs:     make([]byte, n*ed25519.SignatureSize),
 		behaviorBits: make([]byte, n),
+		msgSeq:       make([]uint64, n),
+		fwdSeq:       make([]uint64, n),
+		trees:        make([]*tomography.Tree, n),
+		sweeps:       make([]func(), n),
 		rng:          rng,
+		met:          newSystemMetrics(cfg.Metrics),
 	}
+	cs.Archive.SetMetrics(cfg.Metrics)
 	err = parexec.ForEachWorker(cfg.Workers, n, "compact-keygen", func(_, p int) error {
 		stream := buildSeed.Stream(2 * uint64(p))
 		keys := sigcrypto.KeyPairFromRand(stream)
@@ -143,14 +234,14 @@ func BuildCompactSystem(cfg SystemConfig, rng stats.Rand) (*CompactSystem, error
 		return nil, err
 	}
 	cs.slabOf = make([]uint32, n)
-	permRing := make([]uint32, n)
+	cs.ringOfSlab = make([]uint32, n)
 	for p, x := range ids {
 		i, ok := cs.Overlay.IndexOf(x)
 		if !ok {
 			return nil, fmt.Errorf("core: built identifier %s missing from ring", x.Short())
 		}
 		cs.slabOf[i] = uint32(p)
-		permRing[p] = i
+		cs.ringOfSlab[p] = i
 	}
 
 	// Malicious marks follow build order, as in BuildSystem.
@@ -164,9 +255,18 @@ func BuildCompactSystem(cfg SystemConfig, rng stats.Rand) (*CompactSystem, error
 	// first — no draws — then standard); each node writes only its own
 	// table rows.
 	err = parexec.ForEachWorker(cfg.Workers, n, "compact-routing", func(_, p int) error {
-		cs.Overlay.FillNode(permRing[p], buildSeed.Stream(2*uint64(p)+1))
+		cs.Overlay.FillNode(cs.ringOfSlab[p], buildSeed.Stream(2*uint64(p)+1))
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	cs.Engine, err = NewBlameEngine(cs.Archive, cfg.Blame, WithRecordFilter(cs.collusionFilter))
+	if err != nil {
+		return nil, err
+	}
+	cs.Window, err = NewCompactVerdictWindow(cfg.Window)
 	if err != nil {
 		return nil, err
 	}
@@ -187,10 +287,18 @@ func (cs *CompactSystem) Router(i uint32) topology.RouterID {
 // Keys returns node i's key pair as views into the shared slabs; the
 // returned slices must not be modified.
 func (cs *CompactSystem) Keys(i uint32) sigcrypto.KeyPair {
-	p := int(cs.slabOf[i])
+	return cs.keysOfSlab(cs.slabOf[i])
+}
+
+// keysOfSlab returns slab row p's key pair. Slab rows outlive
+// departures, so diagnosis code that captured a slab before a churn
+// event can still sign with it — mirroring the legacy plane, which
+// holds the *Node alive through the pointer it captured.
+func (cs *CompactSystem) keysOfSlab(p uint32) sigcrypto.KeyPair {
+	q := int(p)
 	return sigcrypto.KeyPair{
-		Public:  ed25519.PublicKey(cs.pubKeys[p*ed25519.PublicKeySize : (p+1)*ed25519.PublicKeySize]),
-		Private: ed25519.PrivateKey(cs.privKeys[p*ed25519.PrivateKeySize : (p+1)*ed25519.PrivateKeySize]),
+		Public:  ed25519.PublicKey(cs.pubKeys[q*ed25519.PublicKeySize : (q+1)*ed25519.PublicKeySize]),
+		Private: ed25519.PrivateKey(cs.privKeys[q*ed25519.PrivateKeySize : (q+1)*ed25519.PrivateKeySize]),
 	}
 }
 
@@ -209,15 +317,68 @@ func (cs *CompactSystem) Cert(i uint32) sigcrypto.Certificate {
 
 // Behavior returns node i's (mis)behavior marks.
 func (cs *CompactSystem) Behavior(i uint32) Behavior {
-	bits := cs.behaviorBits[cs.slabOf[i]]
+	return cs.behaviorOfSlab(cs.slabOf[i])
+}
+
+// behaviorOfSlab decodes slab p's policy: the two packed bits on the
+// fast path, the extended map only when bit2 marks an entry.
+func (cs *CompactSystem) behaviorOfSlab(p uint32) Behavior {
+	bits := cs.behaviorBits[p]
+	if bits&4 != 0 {
+		return cs.extBehavior[p]
+	}
 	return Behavior{DropsMessages: bits&1 != 0, InvertsProbes: bits&2 != 0}
+}
+
+// SetBehavior installs a node's (mis)behavior policy at runtime — the
+// adversary campaign's hook for marking attackers after construction.
+// Policies expressible in the packed bits stay there; probabilistic,
+// periodic, and clique policies spill into the extended map.
+func (cs *CompactSystem) SetBehavior(nid id.ID, b Behavior) error {
+	i, ok := cs.Overlay.IndexOf(nid)
+	if !ok {
+		return fmt.Errorf("core: unknown node %s", nid.Short())
+	}
+	if b.DropProb < 0 || b.DropProb >= 1 || math.IsNaN(b.DropProb) {
+		return fmt.Errorf("core: drop probability %v out of [0,1)", b.DropProb)
+	}
+	if b.DropPeriod < 0 {
+		return fmt.Errorf("core: drop period %d negative", b.DropPeriod)
+	}
+	p := cs.slabOf[i]
+	if b.DropProb == 0 && b.DropPeriod == 0 && b.Clique == 0 {
+		var bits byte
+		if b.DropsMessages {
+			bits |= 1
+		}
+		if b.InvertsProbes {
+			bits |= 2
+		}
+		cs.behaviorBits[p] = bits
+		delete(cs.extBehavior, p)
+		return nil
+	}
+	if cs.extBehavior == nil {
+		cs.extBehavior = make(map[uint32]Behavior)
+	}
+	var bits byte = 4
+	if b.DropsMessages {
+		bits |= 1
+	}
+	if b.InvertsProbes {
+		bits |= 2
+	}
+	cs.behaviorBits[p] = bits
+	cs.extBehavior[p] = b
+	return nil
 }
 
 // TreeOf materializes node i's tomography tree: one BFS from its
 // attachment router plus path extraction per routing peer. Trees are
 // derived data — the build stores none, which is what removes the
 // O(N·routers) phase from the scale frontier; callers that sweep many
-// nodes should reuse scratch across calls.
+// nodes should reuse scratch across calls. The traffic plane's
+// treeOfSlab caches the result per slab instead.
 func (cs *CompactSystem) TreeOf(i uint32, scratch *topology.BFSScratch) (*tomography.Tree, error) {
 	if scratch == nil {
 		scratch = new(topology.BFSScratch)
@@ -234,28 +395,88 @@ func (cs *CompactSystem) TreeOf(i uint32, scratch *topology.BFSScratch) (*tomogr
 	return tomography.BuildTreeBFS(bfs, cs.NodeID(i), cs.Router(i), leaves)
 }
 
+// treeOfSlab returns slab p's cached tomography tree, materializing it
+// on first use after build or churn. Rebuilds are a pure function of
+// the immutable graph and the node's current routing peers, so the
+// cache never holds content a fresh build would not produce.
+func (cs *CompactSystem) treeOfSlab(p uint32) (*tomography.Tree, error) {
+	if t := cs.trees[p]; t != nil {
+		return t, nil
+	}
+	i := cs.ringOfSlab[p]
+	if i == overlay.NoIndex {
+		return nil, fmt.Errorf("core: tree of departed node (slab %d)", p)
+	}
+	cs.peerScratch = cs.Overlay.AppendRoutingPeers(i, cs.peerScratch[:0])
+	cs.leafScratch = cs.leafScratch[:0]
+	for _, j := range cs.peerScratch {
+		cs.leafScratch = append(cs.leafScratch, tomography.Leaf{
+			Node: cs.Overlay.ID(j), Router: cs.routers[cs.slabOf[j]],
+		})
+	}
+	bfs, err := cs.Topo.BFSInto(&cs.bfsScratch, cs.routers[p])
+	if err != nil {
+		return nil, fmt.Errorf("core: build tree for %s: %w", cs.Overlay.ID(i).Short(), err)
+	}
+	tree, err := tomography.BuildTreeBFS(bfs, cs.Overlay.ID(i), cs.routers[p], cs.leafScratch)
+	if err != nil {
+		return nil, fmt.Errorf("core: build tree for %s: %w", cs.Overlay.ID(i).Short(), err)
+	}
+	cs.trees[p] = tree
+	return tree, nil
+}
+
+// invalidateTrees drops every cached tree. Conservative but correct:
+// a churn event shifts ring indices and can change any node's derived
+// leaf set, and a rebuild is deterministic, so the only cost is the
+// lazy rebuild of trees that are actually consulted again. In-flight
+// paths captured from an old tree stay intact — BuildTreeBFS never
+// aliases old storage.
+func (cs *CompactSystem) invalidateTrees() {
+	for p := range cs.trees {
+		cs.trees[p] = nil
+	}
+}
+
 // FailNode removes a node: the overlay repairs every survivor in ring
-// order through the index-based maintenance ops, and the node's ring
-// position is spliced out. Its slab row is retained (see slabOf).
+// order through the index-based maintenance ops (the single FailNode
+// semantic, shared with the legacy plane since the traffic-plane port),
+// and the node's ring position is spliced out. Its slab row is retained
+// (see slabOf); ringOfSlab marks it departed and every higher ring
+// position shifts down by one.
 func (cs *CompactSystem) FailNode(failed id.ID) error {
-	if _, ok := cs.Overlay.IndexOf(failed); !ok {
+	k, ok := cs.Overlay.IndexOf(failed)
+	if !ok {
 		return fmt.Errorf("core: unknown node %s", failed.Short())
 	}
 	if cs.Size() <= 4 {
 		return fmt.Errorf("core: refusing to shrink overlay below 4 nodes")
 	}
-	k, _ := cs.Overlay.IndexOf(failed)
+	slab := cs.slabOf[k]
 	if err := cs.Overlay.ApplyDeparture(failed, cs.rng); err != nil {
 		return err
 	}
 	cs.slabOf = append(cs.slabOf[:k], cs.slabOf[k+1:]...)
+	cs.ringOfSlab[slab] = overlay.NoIndex
+	for p, r := range cs.ringOfSlab {
+		if r != overlay.NoIndex && r > k {
+			cs.ringOfSlab[p] = r - 1
+		}
+	}
+	if cs.departedSlab == nil {
+		cs.departedSlab = make(map[id.ID]uint32)
+	}
+	cs.departedSlab[failed] = slab
+	cs.invalidateTrees()
 	return nil
 }
 
 // JoinNode admits a new CA-certified node at the given router: fresh
 // keys and identifier from the shared rng (as in the legacy join),
-// slab rows appended, every existing node patched in ring order, and
-// the newcomer's tables filled from scratch.
+// slab rows appended, every existing node patched in ring order, the
+// newcomer's tables filled from scratch, and — when probing is live —
+// its probe loop scheduled, drawing the same delay the legacy admit
+// draws.
 func (cs *CompactSystem) JoinNode(router topology.RouterID) (id.ID, error) {
 	keys := sigcrypto.KeyPairFromRand(cs.rng)
 	cert, err := cs.CA.Issue(hostAddr(router), keys.Public)
@@ -272,20 +493,57 @@ func (cs *CompactSystem) JoinNode(router topology.RouterID) (id.ID, error) {
 	cs.privKeys = append(cs.privKeys, keys.Private...)
 	cs.certSigs = append(cs.certSigs, cert.Signature...)
 	cs.behaviorBits = append(cs.behaviorBits, 0)
+	cs.msgSeq = append(cs.msgSeq, 0)
+	cs.fwdSeq = append(cs.fwdSeq, 0)
+	cs.trees = append(cs.trees, nil)
+	cs.sweeps = append(cs.sweeps, nil)
 	cs.slabOf = append(cs.slabOf, 0)
 	copy(cs.slabOf[k+1:], cs.slabOf[k:])
 	cs.slabOf[k] = slab
+	for p, r := range cs.ringOfSlab {
+		if r != overlay.NoIndex && r >= k {
+			cs.ringOfSlab[p] = r + 1
+		}
+	}
+	cs.ringOfSlab = append(cs.ringOfSlab, k)
+	delete(cs.departedSlab, cert.NodeID)
+	cs.invalidateTrees()
+	if cs.probing {
+		if err := cs.scheduleProbe(slab); err != nil {
+			return id.ID{}, err
+		}
+	}
 	return cert.NodeID, nil
 }
 
+// AliveIDs returns the current membership in legacy Order: alive slabs
+// ascending, which is build order with departures spliced out and
+// joiners appended — exactly what System.Order holds after the same
+// churn schedule. Experiment drivers use it to pick traffic endpoints
+// identically on both planes.
+func (cs *CompactSystem) AliveIDs() []id.ID {
+	out := make([]id.ID, 0, cs.Size())
+	for _, r := range cs.ringOfSlab {
+		if r != overlay.NoIndex {
+			out = append(out, cs.Overlay.ID(r))
+		}
+	}
+	return out
+}
+
 // Footprint returns the resident bytes of the compact core: overlay
-// state plus identity slabs. Topology and CA registry are shared with
-// any coexisting legacy system and excluded.
+// state, identity slabs, and the traffic plane's per-slab state (tree
+// cache and sweep-closure headers included; cached tree contents are
+// derived data and excluded, like the legacy plane's). Topology and CA
+// registry are shared with any coexisting legacy system and excluded.
 func (cs *CompactSystem) Footprint() int64 {
 	total := cs.Overlay.Footprint()
 	total += int64(len(cs.routers)) * 4
 	total += int64(len(cs.slabOf)) * 4
+	total += int64(len(cs.ringOfSlab)) * 4
 	total += int64(len(cs.behaviorBits))
 	total += int64(len(cs.pubKeys) + len(cs.privKeys) + len(cs.certSigs))
+	total += int64(len(cs.msgSeq)+len(cs.fwdSeq)) * 8
+	total += int64(len(cs.trees)+len(cs.sweeps)) * 8
 	return total
 }

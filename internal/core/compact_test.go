@@ -161,7 +161,11 @@ func TestBuildCompactSystemWorkerInvariant(t *testing.T) {
 // config and seed. The compact stream is a new format (index-based,
 // trees excluded), so this constant was established when the format
 // landed; any change to the build's decisions or the serialization
-// layout must update it deliberately.
+// layout must update it deliberately. Re-verified unchanged when the
+// traffic plane landed: wiring Sim/Net into the build draws nothing
+// from the rng, and the ring-order FailNode standardization changed
+// only the legacy plane's repair order (compact already repaired in
+// ring order).
 func TestCompactCanonicalGolden(t *testing.T) {
 	t.Parallel()
 	cs := buildTestCompactSystem(t, nil)

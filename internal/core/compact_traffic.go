@@ -1,0 +1,667 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math"
+	"time"
+
+	"concilium/internal/id"
+	"concilium/internal/netsim"
+	"concilium/internal/overlay"
+	"concilium/internal/tomography"
+	"concilium/internal/topology"
+	"concilium/internal/trace"
+	"concilium/internal/wiresize"
+)
+
+// The compact traffic plane (DESIGN.md §13): the full diagnosis
+// protocol — randomized probing, stewarded delivery, per-hop blame,
+// recursive revision, batched acks — running over CompactSystem's
+// index-based state. Every step is draw-for-draw and outcome-identical
+// with the legacy System plane (the equivalence tests in
+// compact_traffic_test.go hold the two together at small N); the
+// difference is purely representational: uint32 ring/slab indices in
+// place of map lookups, lazily cached tomography trees in place of
+// eagerly built ones, and slab-keyed verdict windows and ledgers whose
+// keys survive churn without liveness checks.
+
+// Run advances the simulation by d of virtual time.
+func (cs *CompactSystem) Run(d time.Duration) { cs.Sim.RunFor(d) }
+
+// emit records a trace event when tracing is enabled.
+func (cs *CompactSystem) emit(e trace.Event) {
+	if cs.Config.Tracer != nil {
+		cs.Config.Tracer.Record(e)
+	}
+}
+
+// KeyDir returns the CA-backed key directory for snapshot and
+// accusation verification. Like the legacy directory, it answers only
+// for current members — a departed signer's chain link stops verifying,
+// which is the degraded churn outcome both planes share.
+func (cs *CompactSystem) KeyDir() KeyDirectory {
+	return func(x id.ID) (ed25519.PublicKey, bool) {
+		i, ok := cs.Overlay.IndexOf(x)
+		if !ok {
+			return nil, false
+		}
+		return cs.Keys(i).Public, true
+	}
+}
+
+// collusionFilter is the §4.3 adaptive adversary over slab state:
+// colluding probers flip their published results at judgment time —
+// links up when a target is judged (framing it), links down when an
+// ally is (excusing it as a network fault).
+func (cs *CompactSystem) collusionFilter(judged id.ID, rec tomography.ProbeRecord) (tomography.ProbeRecord, bool) {
+	pi, ok := cs.Overlay.IndexOf(rec.Prober)
+	if !ok {
+		return rec, true
+	}
+	prober := cs.behaviorOfSlab(cs.slabOf[pi])
+	if !prober.InvertsProbes {
+		return rec, true
+	}
+	ally := false
+	if ji, ok := cs.Overlay.IndexOf(judged); ok {
+		jb := cs.behaviorOfSlab(cs.slabOf[ji])
+		if c := prober.Clique; c != 0 {
+			ally = jb.Clique == c
+		} else {
+			ally = jb.DropsMessages
+		}
+	}
+	rec.Up = !ally
+	return rec, true
+}
+
+// pathToPeer returns the IP link path from the node at slab p to peer,
+// from its (lazily materialized) tomography tree. The path is shared
+// tree storage — read-only to callers.
+func (cs *CompactSystem) pathToPeer(p uint32, self, peer id.ID) ([]topology.LinkID, error) {
+	tree, err := cs.treeOfSlab(p)
+	if err != nil {
+		return nil, err
+	}
+	path, ok := tree.PathTo(peer)
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no path to peer %s", self.Short(), peer.Short())
+	}
+	return path, nil
+}
+
+// SendMessage routes one stewarded message from src to dst over the
+// secure overlay and runs the full diagnostic protocol (§3.4–§3.5) —
+// the compact counterpart of System.SendMessage, identical in outcome
+// and rng consumption. The warm delivered path allocates only the
+// report and its route copy; everything else lives in system scratch
+// (§9 ownership protocol) or the per-slab caches.
+func (cs *CompactSystem) SendMessage(src, dst id.ID) (*DeliveryReport, error) {
+	si, ok := cs.Overlay.IndexOf(src)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %s", src.Short())
+	}
+	if _, ok := cs.Overlay.IndexOf(dst); !ok {
+		return nil, fmt.Errorf("core: unknown destination %s", dst.Short())
+	}
+	// Trace into index scratch, then capture identifiers (they escape
+	// into the report) and slab positions (churn-stable hop keys: ring
+	// indices shift when membership changes mid-flight, slabs never do).
+	idxBuf, err := cs.Overlay.AppendRouteSecure(si, dst, 0, cs.routeIdxScratch[:0])
+	if err != nil {
+		return nil, err
+	}
+	cs.routeIdxScratch = idxBuf
+	route := make([]id.ID, len(idxBuf))
+	slabs := cs.routeSlabScratch[:0]
+	for h, i := range idxBuf {
+		route[h] = cs.Overlay.ID(i)
+		slabs = append(slabs, cs.slabOf[i])
+	}
+	cs.routeSlabScratch = slabs
+	cs.msgSeq[slabs[0]]++
+	rep := &DeliveryReport{MsgID: cs.msgSeq[slabs[0]], Route: route, Kind: DropNone}
+	cs.met.msgsSent.Inc()
+	cs.emit(trace.Event{At: cs.Sim.Now(), Kind: trace.KindMessageSent, Node: src, Peer: dst})
+	if len(route) == 1 {
+		rep.Delivered, rep.AckReceived = true, true
+		return rep, nil
+	}
+	sendTime := cs.Sim.Now()
+
+	// Hop-by-hop IP paths, resolved before the first leg: tree lookups
+	// draw no randomness, and the paths are shared tree storage behind a
+	// reused slice-of-slices header.
+	paths := cs.pathScratch[:0]
+	for i := 0; i+1 < len(route); i++ {
+		p, err := cs.pathToPeer(slabs[i], route[i], route[i+1])
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	cs.pathScratch = paths
+
+	// Forward pass: find where the message dies. Each leg advances the
+	// virtual clock by its propagation delay, so link state is whatever
+	// the failure process says when the packet actually crosses.
+	reached := 0
+	for i := 0; i+1 < len(route); i++ {
+		cs.met.msgBytes.Add(wiresize.StewardedHop)
+		cs.Run(cs.Net.Latency(paths[i]))
+		if bad, down := cs.Net.FirstDownLink(paths[i]); down {
+			rep.Kind = DropByLink
+			rep.BrokenLink = bad
+			break
+		}
+		if cs.ringOfSlab[slabs[i+1]] == overlay.NoIndex {
+			// The next hop departed while the message was in flight
+			// (churn events fire inside the latency advance above):
+			// nobody received it.
+			rep.Kind = DropByChurn
+			rep.DroppedBy = route[i+1]
+			cs.Counters.ChurnDrops++
+			break
+		}
+		reached = i + 1
+		if route[i+1] != dst && cs.dropsMessageSlab(slabs[i+1]) {
+			rep.Kind = DropByNode
+			rep.DroppedBy = route[i+1]
+			break
+		}
+	}
+	rep.Delivered = reached == len(route)-1 && rep.Kind == DropNone
+
+	// Acknowledgment pass over the reverse path, again in real virtual
+	// time: a link can fail between the message leg and the ack leg
+	// (§3.5's "acknowledgment dropped along the reverse path").
+	if rep.Delivered {
+		rep.AckReceived = true
+		for i := len(paths) - 1; i >= 0; i-- {
+			cs.met.ackBytes.Add(wiresize.AckHop)
+			cs.Run(cs.Net.Latency(paths[i]))
+			if bad, down := cs.Net.FirstDownLink(paths[i]); down {
+				rep.Kind = DropAckByLink
+				rep.BrokenLink = bad
+				rep.AckReceived = false
+				break
+			}
+		}
+		if rep.AckReceived {
+			cs.met.msgsDelivered.Inc()
+			return rep, nil
+		}
+	}
+	cs.emit(trace.Event{
+		At: cs.Sim.Now(), Kind: trace.KindMessageDropped,
+		Node: src, Peer: dst, Link: rep.BrokenLink, Detail: dropDetail(rep.Kind),
+	})
+	// Evidence windows center on the send time (§3.4).
+	now := sendTime
+
+	// Diagnosis: every steward judges its next hop over the span its
+	// own transmission path plus the next hop's onward path covers.
+	lastSteward := reached
+	if rep.Kind == DropByNode {
+		lastSteward = reached - 1
+	}
+	if lastSteward >= 0 {
+		rep.Verdicts = make([]Verdict, 0, lastSteward+1)
+	}
+	for i := 0; i <= lastSteward && i+1 < len(route); i++ {
+		span := append(cs.spanScratch[:0], paths[i]...)
+		if i+1 < len(paths) {
+			span = append(span, paths[i+1]...)
+		}
+		cs.spanScratch = span
+		res, err := cs.timedBlame(route[i+1], span, now)
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdicts = append(rep.Verdicts, Verdict{
+			Judged: route[i+1], At: now, Blame: res.Blame, Guilty: res.Guilty,
+		})
+		cs.Window.Add(slabs[i+1], rep.Verdicts[len(rep.Verdicts)-1])
+		cs.emit(trace.Event{
+			At: now, Kind: trace.KindVerdict,
+			Node: route[i], Peer: route[i+1], Guilty: res.Guilty,
+		})
+	}
+	if len(rep.Verdicts) == 0 {
+		rep.NetworkBlamed = true
+		return rep, nil
+	}
+
+	// Recursive revision (§3.5): the deepest steward's verdict stands.
+	deepest := rep.Verdicts[len(rep.Verdicts)-1]
+	if !deepest.Guilty {
+		rep.NetworkBlamed = true
+		return rep, nil
+	}
+	rep.Culprit = deepest.Judged
+
+	// Assemble the amended accusation from the deepest contiguous run of
+	// guilty verdicts whose participants are all still members. Slab keys
+	// make the presence check one array load; keysOfSlab could sign for
+	// a departed participant, but the legacy plane cannot — so the same
+	// truncated-chain degradation is kept deliberately.
+	start := len(rep.Verdicts) - 1
+	for start > 0 && rep.Verdicts[start-1].Guilty {
+		start--
+	}
+	for vi := start; vi < len(rep.Verdicts); vi++ {
+		haveAccuser := cs.ringOfSlab[slabs[vi]] != overlay.NoIndex
+		haveJudged := cs.ringOfSlab[slabs[vi+1]] != overlay.NoIndex
+		if !haveAccuser || !haveJudged {
+			start = vi + 1
+			rep.ChainUnavailable = true
+		}
+	}
+	if rep.ChainUnavailable {
+		cs.Counters.ChainsUnavailable++
+	}
+	if start >= len(rep.Verdicts) {
+		return rep, nil
+	}
+	links := make([]Accusation, 0, len(rep.Verdicts)-start)
+	for vi := start; vi < len(rep.Verdicts); vi++ {
+		accuser := route[vi]
+		judged := rep.Verdicts[vi].Judged
+		// Accusation spans escape into the signed chain: exact-size
+		// copies, never scratch.
+		spanLen := len(paths[vi])
+		if vi+1 < len(paths) {
+			spanLen += len(paths[vi+1])
+		}
+		span := append(make([]topology.LinkID, 0, spanLen), paths[vi]...)
+		if vi+1 < len(paths) {
+			span = append(span, paths[vi+1]...)
+		}
+		res, err := cs.timedBlame(judged, span, now)
+		if err != nil {
+			return nil, err
+		}
+		commit := NewCommitment(cs.keysOfSlab(slabs[vi+1]), accuser, judged, dst, rep.MsgID, now)
+		acc, err := NewAccusation(cs.keysOfSlab(slabs[vi]), accuser, res, rep.MsgID, span, commit)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, acc)
+	}
+	chain, err := NewRevisionChain(links)
+	if err != nil {
+		return nil, err
+	}
+	rep.Chain = chain
+	cs.met.chainLen.Observe(int64(len(chain.Links)))
+	cs.emit(trace.Event{At: now, Kind: trace.KindAccusation, Node: src, Peer: rep.Culprit})
+	return rep, nil
+}
+
+// dropsMessageSlab evaluates slab p's drop policy for one stewarded
+// message. The packed-bits fast path covers honest nodes and plain
+// droppers with zero map traffic and zero rng draws — exactly what the
+// legacy policy consumes for those behaviors — and the extended path
+// mirrors the legacy evaluation order draw for draw.
+func (cs *CompactSystem) dropsMessageSlab(p uint32) bool {
+	bits := cs.behaviorBits[p]
+	if bits&4 == 0 {
+		return bits&1 != 0
+	}
+	b := cs.extBehavior[p]
+	if b.DropsMessages {
+		return true
+	}
+	if b.DropPeriod > 0 {
+		cs.fwdSeq[p]++
+		if cs.fwdSeq[p]%uint64(b.DropPeriod) == 0 {
+			return true
+		}
+	}
+	return b.DropProb > 0 && cs.rng.Float64() < b.DropProb
+}
+
+// timedBlame wraps the blame engine with metrics, as on the legacy
+// plane: call count, probes consulted, and wall-clock latency (the
+// reserved "_wallns" class, excluded from canonical snapshots).
+func (cs *CompactSystem) timedBlame(judged id.ID, span []topology.LinkID, at netsim.Time) (BlameResult, error) {
+	start := time.Now()
+	res, err := cs.Engine.Blame(judged, span, at)
+	cs.met.blameWall.ObserveDuration(time.Since(start))
+	if err == nil {
+		cs.met.blameCalls.Inc()
+		cs.met.blameProbes.Observe(int64(res.TotalProbes))
+	}
+	return res, err
+}
+
+// SendBulk routes n messages from src to dst as one batch over the
+// current secure route, collects the destination's digest
+// acknowledgment, and judges the first hop for every missing message —
+// System.SendBulk over indices and the slab-keyed ledger.
+func (cs *CompactSystem) SendBulk(src, dst id.ID, n int) (*BulkReport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: bulk size %d must be positive", n)
+	}
+	si, ok := cs.Overlay.IndexOf(src)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %s", src.Short())
+	}
+	if _, ok := cs.Overlay.IndexOf(dst); !ok {
+		return nil, fmt.Errorf("core: unknown destination %s", dst.Short())
+	}
+	idxRoute, err := cs.Overlay.AppendRouteSecure(si, dst, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	route := make([]id.ID, len(idxRoute))
+	slabs := make([]uint32, len(idxRoute))
+	for h, i := range idxRoute {
+		route[h] = cs.Overlay.ID(i)
+		slabs[h] = cs.slabOf[i]
+	}
+	rep := &BulkReport{Route: route, Sent: n}
+	if len(route) == 1 {
+		rep.Delivered, rep.Cleared = n, n
+		return rep, nil
+	}
+	paths := make([][]topology.LinkID, len(route)-1)
+	for i := 0; i+1 < len(route); i++ {
+		p, err := cs.pathToPeer(slabs[i], route[i], route[i+1])
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+	}
+	dstSlab := slabs[len(slabs)-1]
+
+	ledger := NewCompactStewardLedger(src)
+	sendTime := cs.Sim.Now()
+	var received []uint64
+	for m := 0; m < n; m++ {
+		cs.msgSeq[slabs[0]]++
+		msgID := cs.msgSeq[slabs[0]]
+		ledger.RecordSent(dstSlab, msgID, cs.Sim.Now())
+		ok := true
+		for i := 0; i+1 < len(route) && ok; i++ {
+			cs.Run(cs.Net.Latency(paths[i]))
+			if !cs.Net.PathUp(paths[i]) {
+				ok = false
+				break
+			}
+			if cs.behaviorOfSlab(slabs[i+1]).DropsMessages && route[i+1] != dst {
+				ok = false
+			}
+		}
+		if ok {
+			received = append(received, msgID)
+		}
+	}
+	rep.Delivered = len(received)
+
+	// One digest acknowledgment covers the batch.
+	ack, err := NewDigestAck(cs.keysOfSlab(dstSlab), src, dst, cs.Sim.Now(), uint32(n), received)
+	if err != nil {
+		return nil, err
+	}
+	rep.AckDigests = len(ack.Digests)
+	cleared, err := ledger.ConsumeAck(dstSlab, dst, &ack, cs.keysOfSlab(dstSlab).Public)
+	if err != nil {
+		return nil, err
+	}
+	rep.Cleared = len(cleared)
+	rep.Missing = ledger.NeedsBlame(dstSlab, cs.Sim.Now())
+
+	// Judge the first hop once per missing message, over the span its
+	// messages needed after leaving the source.
+	if len(rep.Missing) > 0 && len(route) > 1 {
+		span := append([]topology.LinkID(nil), paths[0]...)
+		if len(paths) > 1 {
+			span = append(span, paths[1]...)
+		}
+		for range rep.Missing {
+			res, err := cs.Engine.Blame(route[1], span, sendTime)
+			if err != nil {
+				return nil, err
+			}
+			v := Verdict{Judged: route[1], At: sendTime, Blame: res.Blame, Guilty: res.Guilty}
+			rep.Verdicts = append(rep.Verdicts, v)
+			cs.Window.Add(slabs[1], v)
+			cs.emit(trace.Event{
+				At: sendTime, Kind: trace.KindVerdict,
+				Node: src, Peer: route[1], Guilty: res.Guilty,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// OverlayPaths returns every (host → routing peer) IP path — the
+// candidate set for the failure injector. It materializes every node's
+// tomography tree, which is exactly what lazy trees avoid at large N;
+// scale experiments prefer chaos-style targeted faults, and the sim's
+// small-N figure loops accept the cost for legacy-identical failure
+// schedules.
+func (cs *CompactSystem) OverlayPaths() ([][]topology.LinkID, error) {
+	var out [][]topology.LinkID
+	for p, r := range cs.ringOfSlab {
+		if r == overlay.NoIndex {
+			continue
+		}
+		tree, err := cs.treeOfSlab(uint32(p))
+		if err != nil {
+			return nil, err
+		}
+		for i := range tree.Leaves {
+			out = append(out, tree.Leaves[i].Path)
+		}
+	}
+	return out, nil
+}
+
+// StartFailures begins the link-failure process over the overlay paths.
+func (cs *CompactSystem) StartFailures() error {
+	paths, err := cs.OverlayPaths()
+	if err != nil {
+		return err
+	}
+	inj, err := netsim.NewFailureInjector(cs.Net, cs.rng, paths, cs.Config.Failures)
+	if err != nil {
+		return err
+	}
+	cs.Injector = inj
+	return inj.Start()
+}
+
+// StartProbing schedules every node's randomized lightweight probing
+// loop in slab (legacy Order) order, drawing each node's initial delay
+// from the shared rng exactly as the legacy plane does.
+func (cs *CompactSystem) StartProbing() error {
+	if cs.probing {
+		return fmt.Errorf("core: probing already started")
+	}
+	cs.probing = true
+	for p, r := range cs.ringOfSlab {
+		if r == overlay.NoIndex {
+			continue
+		}
+		if err := cs.scheduleProbe(uint32(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartProbingSample schedules probe loops for an evenly strided sample
+// of about k current members instead of all of them — the
+// large-N traffic figure's probing mode, where full-population probing
+// would dominate the run without changing what the hot path measures.
+// The stride covers the whole slab range (malicious marks cluster at
+// low slabs, so a prefix would be adversarially skewed) and the chosen
+// members are returned for use as traffic endpoints. No legacy
+// counterpart: it exists for experiments that have already given up
+// legacy equivalence by sampling.
+func (cs *CompactSystem) StartProbingSample(k int) ([]id.ID, error) {
+	if cs.probing {
+		return nil, fmt.Errorf("core: probing already started")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: probe sample %d must be positive", k)
+	}
+	cs.probing = true
+	alive := make([]uint32, 0, cs.Size())
+	for p, r := range cs.ringOfSlab {
+		if r != overlay.NoIndex {
+			alive = append(alive, uint32(p))
+		}
+	}
+	step := len(alive) / k
+	if step < 1 {
+		step = 1
+	}
+	chosen := make([]id.ID, 0, k)
+	for at := 0; at < len(alive) && len(chosen) < k; at += step {
+		p := alive[at]
+		if err := cs.scheduleProbe(p); err != nil {
+			return nil, err
+		}
+		chosen = append(chosen, cs.Overlay.ID(cs.ringOfSlab[p]))
+	}
+	return chosen, nil
+}
+
+// SetProbeLoss injects random probe-packet loss: each scheduled sweep
+// is eaten whole with probability p. 0 disables the fault and restores
+// the exact pre-fault random stream.
+func (cs *CompactSystem) SetProbeLoss(p float64) error {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return fmt.Errorf("core: probe loss %v out of [0,1)", p)
+	}
+	cs.probeLoss = p
+	return nil
+}
+
+// SuppressProbes pauses (or resumes) every node's probe publication —
+// the evidence-staleness fault.
+func (cs *CompactSystem) SuppressProbes(suppressed bool) { cs.probesSuppressed = suppressed }
+
+// SetNodeSilent marks one node's probe sweeps as silent without
+// removing it from the overlay.
+func (cs *CompactSystem) SetNodeSilent(nid id.ID, silent bool) error {
+	i, ok := cs.Overlay.IndexOf(nid)
+	if !ok {
+		return fmt.Errorf("core: unknown node %s", nid.Short())
+	}
+	if cs.silentSlabs == nil {
+		cs.silentSlabs = make(map[uint32]bool)
+	}
+	cs.silentSlabs[cs.slabOf[i]] = silent
+	return nil
+}
+
+// scheduleProbe queues slab p's next sweep. The sweep closure is
+// created once per slab and reused for every rescheduling.
+func (cs *CompactSystem) scheduleProbe(p uint32) error {
+	if cs.sweeps[p] == nil {
+		cs.sweeps[p] = func() { cs.probeSweep(p) }
+	}
+	delay := time.Duration(cs.rng.Float64() * float64(cs.Config.MaxProbeTime))
+	return cs.Sim.ScheduleAfter(delay, cs.sweeps[p])
+}
+
+// probeSweep runs one lightweight probe sweep for slab p and
+// reschedules the next — the legacy sweep body over indices.
+func (cs *CompactSystem) probeSweep(p uint32) {
+	if cs.ringOfSlab[p] == overlay.NoIndex {
+		// The node departed after this sweep was scheduled: a ghost must
+		// not keep publishing probes, and its loop ends here.
+		cs.Counters.GhostProbesStopped++
+		return
+	}
+	if cs.probesSuppressed || cs.silentSlabs[p] {
+		cs.Counters.ProbesSuppressed++
+		cs.reschedProbe(p)
+		return
+	}
+	if cs.probeLoss > 0 && cs.rng.Float64() < cs.probeLoss {
+		cs.Counters.ProbesLost++
+		cs.reschedProbe(p)
+		return
+	}
+	tree, err := cs.treeOfSlab(p)
+	if err != nil {
+		// The graph is immutable and BFS roots are attachment routers, so
+		// this cannot fire in practice; surface it rather than panic.
+		cs.Counters.ArchiveRecordErrors++
+		cs.reschedProbe(p)
+		return
+	}
+	// The archive copies observations out record by record, so the
+	// unsigned path reuses one scratch slice across every sweep. Signed
+	// snapshots retain obs, so that path keeps a fresh allocation.
+	var obs []tomography.LinkObservation
+	if cs.Config.SignedSnapshots {
+		obs, err = tomography.ObserveLinks(cs.Net, tree.Links(), cs.Config.Blame.ProbeAccuracy, cs.rng)
+	} else {
+		obs, err = tomography.AppendObserveLinks(cs.obsScratch[:0], cs.Net, tree.Links(), cs.Config.Blame.ProbeAccuracy, cs.rng)
+		if err == nil {
+			cs.obsScratch = obs
+		}
+	}
+	if err == nil {
+		cs.met.probeSweeps.Inc()
+		cs.met.probeBytes.Add(uint64(len(obs) * wiresize.ProbePacket))
+		for i := range tree.Leaves {
+			cs.met.probeRTT.ObserveDuration(2 * cs.Net.Latency(tree.Leaves[i].Path))
+		}
+		if cs.Config.SignedSnapshots {
+			cs.publishSnapshot(p, obs)
+		} else if err := cs.Archive.Record(cs.Overlay.ID(cs.ringOfSlab[p]), cs.Sim.Now(), obs); err != nil {
+			cs.Counters.ArchiveRecordErrors++
+		}
+		cs.emit(trace.Event{At: cs.Sim.Now(), Kind: trace.KindProbe, Node: cs.Overlay.ID(cs.ringOfSlab[p])})
+	}
+	if cs.Config.ArchiveRetention > 0 {
+		now := cs.Sim.Now()
+		if now.Sub(cs.lastPrune) >= cs.Config.ArchiveRetention/4 {
+			cs.lastPrune = now
+			cs.Archive.Prune(now.Add(-cs.Config.ArchiveRetention))
+		}
+	}
+	cs.reschedProbe(p)
+}
+
+// reschedProbe queues slab p's next sweep, surfacing scheduling
+// failures.
+func (cs *CompactSystem) reschedProbe(p uint32) {
+	if err := cs.scheduleProbe(p); err != nil {
+		cs.Counters.ProbeRescheduleErrors++
+	}
+}
+
+// publishSnapshot runs the full §3.2 dissemination path for slab p: the
+// prober signs its snapshot (leaf spacing from the derived leaf set)
+// and receivers validate the signature before archiving.
+func (cs *CompactSystem) publishSnapshot(p uint32, obs []tomography.LinkObservation) {
+	i := cs.ringOfSlab[p]
+	spacing, err := cs.Overlay.LeafMeanSpacing(i)
+	if err != nil {
+		spacing = 0
+	}
+	snap := &Snapshot{
+		Prober:       cs.Overlay.ID(i),
+		At:           cs.Sim.Now(),
+		Observations: obs,
+		LeafSpacing:  spacing,
+	}
+	snap.Sign(cs.keysOfSlab(p))
+	cs.met.snapshotBytes.Add(uint64(wiresize.SnapshotBytes(len(obs))))
+	validator := &SnapshotValidator{Keys: cs.KeyDir()}
+	if err := validator.Ingest(cs.Archive, snap); err != nil {
+		cs.emit(trace.Event{
+			At: cs.Sim.Now(), Kind: trace.KindSnapshotRejected,
+			Node: cs.Overlay.ID(i), Detail: err.Error(),
+		})
+	}
+}

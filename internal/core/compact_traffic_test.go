@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"concilium/internal/netsim"
+	"concilium/internal/topology"
+)
+
+// The small-N equivalence lock for the compact traffic plane: built
+// from the same seed, the legacy and compact systems must produce
+// identical DeliveryReports, blame outcomes, verdict windows, and
+// counters for identical traffic — including under interleaved and
+// mid-flight churn. Every divergence between the planes that these
+// tests would catch is a semantic bug, not noise: both sides are fully
+// deterministic for a fixed seed.
+
+// equivSystemConfig returns the traffic-equivalence deployment at one
+// of two population scales (~48 and ~256 overlay nodes).
+func equivSystemConfig(medium bool) SystemConfig {
+	topo := topology.TestConfig()
+	if medium {
+		topo = topology.Config{
+			TransitDomains:          3,
+			RoutersPerTransitDomain: 8,
+			TransitChordsPerRouter:  1,
+			InterDomainLinks:        2,
+			StubsPerTransitRouter:   3,
+			MeanRoutersPerStub:      6,
+			StubChordFraction:       0.3,
+			StubMultihomeFraction:   0.2,
+			HostsPerStubRouter:      1.2,
+		}
+	}
+	return SystemConfig{
+		Topology:          topo,
+		OverlayFraction:   0.5,
+		Blame:             DefaultBlameConfig(),
+		Window:            DefaultWindowConfig(),
+		MaxProbeTime:      2 * time.Minute,
+		Failures:          netsim.DefaultFailureConfig(),
+		MaliciousFraction: 0.1,
+	}
+}
+
+// buildEquivPair builds the legacy and compact planes from identical
+// seeds and asserts their membership views agree before any traffic.
+func buildEquivPair(t *testing.T, cfg SystemConfig, seed uint64) (*System, *CompactSystem) {
+	t.Helper()
+	s, err := BuildSystem(cfg, rand.New(rand.NewPCG(seed, seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := BuildCompactSystem(cfg, rand.New(rand.NewPCG(seed, seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMembers(t, s, cs)
+	return s, cs
+}
+
+func requireSameMembers(t *testing.T, s *System, cs *CompactSystem) {
+	t.Helper()
+	alive := cs.AliveIDs()
+	if len(alive) != len(s.Order) {
+		t.Fatalf("membership: legacy %d nodes, compact %d", len(s.Order), len(alive))
+	}
+	for i, nid := range s.Order {
+		if alive[i] != nid {
+			t.Fatalf("membership order diverges at %d: legacy %s, compact %s", i, nid.Short(), alive[i].Short())
+		}
+	}
+}
+
+func requireSameReports(t *testing.T, step int, l, c *DeliveryReport) {
+	t.Helper()
+	if l.MsgID != c.MsgID {
+		t.Fatalf("step %d: msg id %d vs %d", step, l.MsgID, c.MsgID)
+	}
+	if len(l.Route) != len(c.Route) {
+		t.Fatalf("step %d: route len %d vs %d", step, len(l.Route), len(c.Route))
+	}
+	for i := range l.Route {
+		if l.Route[i] != c.Route[i] {
+			t.Fatalf("step %d: route[%d] %s vs %s", step, i, l.Route[i].Short(), c.Route[i].Short())
+		}
+	}
+	if l.Delivered != c.Delivered || l.AckReceived != c.AckReceived || l.Kind != c.Kind {
+		t.Fatalf("step %d: outcome (%v,%v,%d) vs (%v,%v,%d)",
+			step, l.Delivered, l.AckReceived, l.Kind, c.Delivered, c.AckReceived, c.Kind)
+	}
+	if l.DroppedBy != c.DroppedBy || l.BrokenLink != c.BrokenLink {
+		t.Fatalf("step %d: fault point (%s,%v) vs (%s,%v)",
+			step, l.DroppedBy.Short(), l.BrokenLink, c.DroppedBy.Short(), c.BrokenLink)
+	}
+	if l.ChainUnavailable != c.ChainUnavailable || l.Culprit != c.Culprit || l.NetworkBlamed != c.NetworkBlamed {
+		t.Fatalf("step %d: attribution (%v,%s,%v) vs (%v,%s,%v)", step,
+			l.ChainUnavailable, l.Culprit.Short(), l.NetworkBlamed,
+			c.ChainUnavailable, c.Culprit.Short(), c.NetworkBlamed)
+	}
+	if len(l.Verdicts) != len(c.Verdicts) {
+		t.Fatalf("step %d: %d verdicts vs %d", step, len(l.Verdicts), len(c.Verdicts))
+	}
+	for i := range l.Verdicts {
+		if l.Verdicts[i] != c.Verdicts[i] {
+			t.Fatalf("step %d: verdict[%d] %+v vs %+v", step, i, l.Verdicts[i], c.Verdicts[i])
+		}
+	}
+	if (l.Chain == nil) != (c.Chain == nil) {
+		t.Fatalf("step %d: chain presence %v vs %v", step, l.Chain != nil, c.Chain != nil)
+	}
+	if l.Chain != nil {
+		if len(l.Chain.Links) != len(c.Chain.Links) {
+			t.Fatalf("step %d: chain len %d vs %d", step, len(l.Chain.Links), len(c.Chain.Links))
+		}
+		for i := range l.Chain.Links {
+			if l.Chain.Links[i].Signature == nil || c.Chain.Links[i].Signature == nil {
+				t.Fatalf("step %d: unsigned chain link %d", step, i)
+			}
+		}
+	}
+}
+
+// runTrafficEquivalence drives identical traffic (and optionally an
+// identical churn schedule, with both scheduled and mid-flight events)
+// through both planes and asserts report-for-report equality.
+func runTrafficEquivalence(t *testing.T, seed uint64, medium, churn bool) {
+	cfg := equivSystemConfig(medium)
+	s, cs := buildEquivPair(t, cfg, seed)
+	if err := s.StartFailures(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.StartFailures(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * time.Minute)
+	cs.Run(5 * time.Minute)
+
+	hosts := s.Topo.EndHosts()
+	pick := rand.New(rand.NewPCG(seed*3+1, 5))
+	messages := 60
+	if medium {
+		messages = 30
+	}
+	for step := 0; step < messages; step++ {
+		if churn && step%10 == 4 && len(s.Order) > 8 {
+			// Mid-flight departure: scheduled a hair into the next send's
+			// first latency advance, so the membership change races the
+			// message on both planes identically.
+			victim := s.Order[(step*13)%(len(s.Order)-1)+1]
+			var errL, errC error
+			if err := s.Sim.ScheduleAfter(time.Millisecond, func() { errL = s.FailNode(victim) }); err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.Sim.ScheduleAfter(time.Millisecond, func() { errC = cs.FailNode(victim) }); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if errL != nil || errC != nil {
+					t.Errorf("mid-flight FailNode: legacy %v, compact %v", errL, errC)
+				}
+			}()
+		}
+		if churn && step%10 == 8 {
+			router := hosts[(step*37)%len(hosts)]
+			jl, errL := s.JoinNode(router)
+			jc, errC := cs.JoinNode(router)
+			if (errL == nil) != (errC == nil) {
+				t.Fatalf("step %d: join errors diverge: %v vs %v", step, errL, errC)
+			}
+			if errL == nil && jl != jc {
+				t.Fatalf("step %d: joined ids diverge: %s vs %s", step, jl.Short(), jc.Short())
+			}
+			requireSameMembers(t, s, cs)
+		}
+		a, b := pick.IntN(len(s.Order)), pick.IntN(len(s.Order))
+		if a == b {
+			continue
+		}
+		src, dst := s.Order[a], s.Order[b]
+		repL, errL := s.SendMessage(src, dst)
+		repC, errC := cs.SendMessage(src, dst)
+		if (errL == nil) != (errC == nil) {
+			t.Fatalf("step %d: errors diverge: %v vs %v", step, errL, errC)
+		}
+		if errL != nil {
+			if errL.Error() != errC.Error() {
+				t.Fatalf("step %d: error text diverges: %q vs %q", step, errL, errC)
+			}
+			continue
+		}
+		requireSameReports(t, step, repL, repC)
+		// Pacing between messages, as the sim loop does.
+		s.Run(2 * time.Second)
+		cs.Run(2 * time.Second)
+	}
+
+	requireSameMembers(t, s, cs)
+	if s.Counters != cs.Counters {
+		t.Errorf("counters diverge: legacy %+v, compact %+v", s.Counters, cs.Counters)
+	}
+	if s.Archive.Size() != cs.Archive.Size() {
+		t.Errorf("archive size diverges: legacy %d, compact %d", s.Archive.Size(), cs.Archive.Size())
+	}
+	// Verdict-window parity for every current member, keyed by id on the
+	// legacy plane and by slab on the compact one.
+	for _, nid := range s.Order {
+		i, ok := cs.Overlay.IndexOf(nid)
+		if !ok {
+			t.Fatalf("window parity: %s missing from compact ring", nid.Short())
+		}
+		if lg, cg := s.Window.GuiltyCount(nid), cs.Window.GuiltyCount(cs.slabOf[i]); lg != cg {
+			t.Errorf("guilty count for %s: legacy %d, compact %d", nid.Short(), lg, cg)
+		}
+	}
+}
+
+func TestCompactTrafficEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, medium := range []bool{false, true} {
+			size := "n48"
+			if medium {
+				size = "n256"
+			}
+			t.Run(fmt.Sprintf("seed%d-%s", seed, size), func(t *testing.T) {
+				runTrafficEquivalence(t, seed, medium, false)
+			})
+			t.Run(fmt.Sprintf("seed%d-%s-churn", seed, size), func(t *testing.T) {
+				runTrafficEquivalence(t, seed, medium, true)
+			})
+		}
+	}
+}
+
+// TestCompactBulkEquivalence locks SendBulk: batch outcomes, digest-ack
+// clearing, and missing-message verdicts must match the legacy plane.
+func TestCompactBulkEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := equivSystemConfig(false)
+			s, cs := buildEquivPair(t, cfg, seed)
+			if err := s.StartProbing(); err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.StartProbing(); err != nil {
+				t.Fatal(err)
+			}
+			s.Run(5 * time.Minute)
+			cs.Run(5 * time.Minute)
+			pick := rand.New(rand.NewPCG(seed+100, 3))
+			for batch := 0; batch < 10; batch++ {
+				a, b := pick.IntN(len(s.Order)), pick.IntN(len(s.Order))
+				if a == b {
+					continue
+				}
+				n := 5 + pick.IntN(20)
+				repL, errL := s.SendBulk(s.Order[a], s.Order[b], n)
+				repC, errC := cs.SendBulk(s.Order[a], s.Order[b], n)
+				if (errL == nil) != (errC == nil) {
+					t.Fatalf("batch %d: errors diverge: %v vs %v", batch, errL, errC)
+				}
+				if errL != nil {
+					continue
+				}
+				if repL.Sent != repC.Sent || repL.Delivered != repC.Delivered ||
+					repL.Cleared != repC.Cleared || repL.AckDigests != repC.AckDigests {
+					t.Fatalf("batch %d: outcome %+v vs %+v", batch, repL, repC)
+				}
+				if len(repL.Missing) != len(repC.Missing) {
+					t.Fatalf("batch %d: missing %v vs %v", batch, repL.Missing, repC.Missing)
+				}
+				for i := range repL.Missing {
+					if repL.Missing[i] != repC.Missing[i] {
+						t.Fatalf("batch %d: missing[%d] %d vs %d", batch, i, repL.Missing[i], repC.Missing[i])
+					}
+				}
+				if len(repL.Verdicts) != len(repC.Verdicts) {
+					t.Fatalf("batch %d: %d verdicts vs %d", batch, len(repL.Verdicts), len(repC.Verdicts))
+				}
+				for i := range repL.Verdicts {
+					if repL.Verdicts[i] != repC.Verdicts[i] {
+						t.Fatalf("batch %d: verdict[%d] %+v vs %+v", batch, i, repL.Verdicts[i], repC.Verdicts[i])
+					}
+				}
+				s.Run(time.Second)
+				cs.Run(time.Second)
+			}
+		})
+	}
+}
+
+// TestCompactSignedSnapshotEquivalence runs the full §3.2 signed
+// pipeline on both planes and checks the archives agree — which pins
+// Compact.LeafMeanSpacing (the derived-leaf-set spacing) against the
+// legacy LeafSet.MeanSpacing it replaces, since a spacing mismatch
+// would change snapshot bytes and signatures.
+func TestCompactSignedSnapshotEquivalence(t *testing.T) {
+	cfg := equivSystemConfig(false)
+	cfg.SignedSnapshots = true
+	s, cs := buildEquivPair(t, cfg, 7)
+	// Direct spacing parity for every member.
+	for _, nid := range s.Order {
+		i, ok := cs.Overlay.IndexOf(nid)
+		if !ok {
+			t.Fatalf("%s missing from compact ring", nid.Short())
+		}
+		want, errL := s.Nodes[nid].Routing.Leaf.MeanSpacing()
+		got, errC := cs.Overlay.LeafMeanSpacing(i)
+		if (errL == nil) != (errC == nil) {
+			t.Fatalf("%s: spacing errors diverge: %v vs %v", nid.Short(), errL, errC)
+		}
+		if errL == nil && want != got {
+			t.Fatalf("%s: mean spacing %g vs %g", nid.Short(), want, got)
+		}
+	}
+	if err := s.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.StartProbing(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10 * time.Minute)
+	cs.Run(10 * time.Minute)
+	if s.Archive.Size() == 0 {
+		t.Fatal("signed probing recorded nothing")
+	}
+	if s.Archive.Size() != cs.Archive.Size() {
+		t.Errorf("archive size diverges: legacy %d, compact %d", s.Archive.Size(), cs.Archive.Size())
+	}
+}
+
+// BenchmarkCompactSendMessageWarm measures the compact delivered-path
+// cost on a warm system — the fig13 hot loop in isolation.
+func BenchmarkCompactSendMessageWarm(b *testing.B) {
+	cfg := SystemConfig{
+		Topology:        topology.TestConfig(),
+		OverlayFraction: 0.5,
+		Blame:           DefaultBlameConfig(),
+		Window:          DefaultWindowConfig(),
+		MaxProbeTime:    2 * time.Minute,
+		Failures:        netsim.DefaultFailureConfig(),
+	}
+	cs, err := BuildCompactSystem(cfg, rand.New(rand.NewPCG(7, 11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cs.StartProbing(); err != nil {
+		b.Fatal(err)
+	}
+	cs.Run(10 * time.Minute)
+	alive := cs.AliveIDs()
+	src, dst := alive[0], alive[len(alive)/2]
+	if _, err := cs.SendMessage(src, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.SendMessage(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"concilium/internal/id"
 	"concilium/internal/stats"
@@ -632,4 +633,43 @@ func (t *compactTable) remapInsertion(k uint32) {
 			}
 		}
 	}
+}
+
+// LeafMeanSpacing returns the average inter-identifier gap across the
+// arc node i's derived leaf set spans (owner included) — the compact
+// counterpart of LeafSet.MeanSpacing, consumed by signed-snapshot
+// publication. It reconstructs the legacy geometry exactly: the arc
+// starts at the last entry of the legacy counterclockwise side view
+// (the members sorted by counterclockwise spacing from the owner,
+// truncated to perSide), and the mean gap is the arc length over the
+// segment count. Cold path — snapshot signing dominates it — so the
+// small sorts allocate freely.
+func (c *Compact) LeafMeanSpacing(i uint32) (float64, error) {
+	members := c.AppendLeafIndices(i, nil)
+	if len(members) == 0 {
+		return 0, fmt.Errorf("overlay: mean spacing of empty leaf set")
+	}
+	owner := c.ring.ids[i]
+	byCCW := make([]id.ID, 0, len(members)+1)
+	for _, j := range members {
+		byCCW = append(byCCW, c.ring.ids[j])
+	}
+	sort.Slice(byCCW, func(a, b int) bool {
+		return id.Spacing(byCCW[a], owner) < id.Spacing(byCCW[b], owner)
+	})
+	m := c.perSide
+	if m > len(byCCW) {
+		m = len(byCCW)
+	}
+	start := byCCW[m-1]
+	all := append(byCCW, owner)
+	sort.Slice(all, func(a, b int) bool {
+		return id.Spacing(start, all[a]) < id.Spacing(start, all[b])
+	})
+	arc := id.Spacing(start, all[len(all)-1])
+	segments := len(all) - 1
+	if segments <= 0 || arc <= 0 {
+		return 0, fmt.Errorf("overlay: leaf set spans no arc")
+	}
+	return arc / float64(segments), nil
 }
